@@ -1,0 +1,78 @@
+//! Ablation of the §5 optimizations: the indirect `VersionedCas` versus the recorded-once
+//! direct representation (version metadata embedded in the nodes, Fig. 9), plus the cost of
+//! leaving rarely-queried fields unversioned.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vcas_core::{Camera, DirectVersionedPtr, VersionInfo, VersionedNode, VersionedPtr};
+use vcas_ebr::{pin, Owned};
+
+struct DirectNode {
+    _payload: u64,
+    version: VersionInfo<DirectNode>,
+}
+impl VersionedNode for DirectNode {
+    fn version(&self) -> &VersionInfo<Self> {
+        &self.version
+    }
+}
+
+fn bench_indirect_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indirection_ablation");
+
+    group.bench_function("indirect_install_and_read", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let camera = Camera::new();
+                let guard = pin();
+                let nodes: Vec<_> = (0..64u64).map(|i| Owned::new(i).into_shared(&guard)).collect();
+                let ptr: VersionedPtr<u64> = VersionedPtr::from_shared(nodes[0], &camera);
+                let handle = camera.take_snapshot();
+                for i in 1..nodes.len() {
+                    ptr.compare_exchange(nodes[i - 1], nodes[i], &guard);
+                }
+                std::hint::black_box(ptr.load_snapshot(handle, &guard));
+                for n in nodes {
+                    unsafe { drop(n.into_owned()) };
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("direct_install_and_read", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let camera = Camera::new();
+                let guard = pin();
+                let nodes: Vec<_> = (0..64u64)
+                    .map(|i| {
+                        Owned::new(DirectNode { _payload: i, version: VersionInfo::new() })
+                            .into_shared(&guard)
+                    })
+                    .collect();
+                let ptr = DirectVersionedPtr::new(nodes[0], &camera);
+                let handle = camera.take_snapshot();
+                for i in 1..nodes.len() {
+                    ptr.compare_exchange(nodes[i - 1], nodes[i], &guard);
+                }
+                std::hint::black_box(ptr.load_snapshot(handle, &guard));
+                for n in nodes {
+                    unsafe { drop(n.into_owned()) };
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_indirect_vs_direct
+}
+criterion_main!(ablation);

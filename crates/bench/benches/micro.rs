@@ -1,0 +1,82 @@
+//! Micro-benchmarks backing the §3 cost claims (Theorem 2):
+//!
+//! 1. `takeSnapshot` is constant time regardless of how many versioned objects exist.
+//! 2. `vCAS` / `vRead` are constant time (compared against a plain CAS / load).
+//! 3. `readSnapshot` costs time proportional to the number of versions newer than the handle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vcas_core::{Camera, VersionedCas};
+use vcas_ebr::pin;
+
+fn bench_take_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("take_snapshot");
+    for objects in [1usize, 1024, 65_536] {
+        let camera = Camera::new();
+        let guard = pin();
+        let cells: Vec<VersionedCas<u64>> =
+            (0..objects).map(|i| VersionedCas::new(i as u64, &camera)).collect();
+        // Touch the cells once so they are real.
+        for cell in &cells {
+            std::hint::black_box(cell.read(&guard));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(objects), &objects, |b, _| {
+            b.iter(|| std::hint::black_box(camera.take_snapshot()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vcas_vs_cas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cas_cost");
+    let camera = Camera::new();
+    let vcell = VersionedCas::new(0u64, &camera);
+    let plain = AtomicU64::new(0);
+    let guard = pin();
+
+    let mut value = 0u64;
+    group.bench_function("plain_cas", |b| {
+        b.iter(|| {
+            let _ = plain.compare_exchange(value, value + 1, Ordering::SeqCst, Ordering::SeqCst);
+            value += 1;
+        })
+    });
+    let mut vvalue = 0u64;
+    group.bench_function("vcas", |b| {
+        b.iter(|| {
+            std::hint::black_box(vcell.compare_and_swap(vvalue, vvalue + 1, &guard));
+            vvalue += 1;
+        })
+    });
+    group.bench_function("plain_read", |b| b.iter(|| std::hint::black_box(plain.load(Ordering::SeqCst))));
+    group.bench_function("vread", |b| b.iter(|| std::hint::black_box(vcell.read(&guard))));
+    group.finish();
+}
+
+fn bench_read_snapshot_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_snapshot_depth");
+    for newer_versions in [0u64, 16, 256, 4096] {
+        let camera = Camera::new();
+        let cell = VersionedCas::new(0u64, &camera);
+        let guard = pin();
+        let handle = camera.take_snapshot();
+        for i in 0..newer_versions {
+            camera.take_snapshot();
+            assert!(cell.compare_and_swap(i, i + 1, &guard));
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(newer_versions),
+            &newer_versions,
+            |b, _| b.iter(|| std::hint::black_box(cell.read_snapshot(handle, &guard))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_take_snapshot, bench_vcas_vs_cas, bench_read_snapshot_vs_depth
+}
+criterion_main!(micro);

@@ -1,0 +1,87 @@
+//! Per-structure operation costs: the overhead of adding snapshots (plain vs versioned) for
+//! point operations, and the cost of atomic range queries — the per-operation view of the
+//! paper's Fig. 2m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use vcas_core::Camera;
+use vcas_structures::{HarrisList, MsQueue, Nbbst};
+
+const PREFILL: u64 = 10_000;
+
+fn prefilled_bst(versioned: bool) -> Nbbst {
+    let tree = if versioned { Nbbst::new_versioned(&Camera::new()) } else { Nbbst::new_plain() };
+    for k in 0..PREFILL {
+        tree.insert((k * 2654435761) % (4 * PREFILL), k);
+    }
+    tree
+}
+
+fn bench_bst_point_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bst_point_ops");
+    for versioned in [false, true] {
+        let label = if versioned { "VcasBST" } else { "BST" };
+        let tree = prefilled_bst(versioned);
+        let mut key = 1u64;
+        group.bench_with_input(BenchmarkId::new("insert_remove", label), &(), |b, _| {
+            b.iter(|| {
+                key = (key * 6364136223846793005).wrapping_add(1) % (8 * PREFILL);
+                if !tree.insert(key, key) {
+                    tree.remove(key);
+                }
+            })
+        });
+        let mut probe = 0u64;
+        group.bench_with_input(BenchmarkId::new("lookup", label), &(), |b, _| {
+            b.iter(|| {
+                probe = (probe + 7919) % (4 * PREFILL);
+                std::hint::black_box(tree.contains(probe));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bst_range_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bst_range_query");
+    let tree = prefilled_bst(true);
+    for span in [64u64, 1024] {
+        group.bench_with_input(BenchmarkId::new("atomic", span), &span, |b, &span| {
+            b.iter(|| std::hint::black_box(tree.range_query(100, 100 + span)))
+        });
+        group.bench_with_input(BenchmarkId::new("non_atomic", span), &span, |b, &span| {
+            b.iter(|| std::hint::black_box(tree.range_query_non_atomic(100, 100 + span)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_and_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_and_queue");
+    let list = HarrisList::new_versioned_default();
+    for k in 0..2_000u64 {
+        list.insert(k, k);
+    }
+    group.bench_function("vcas_list_range_128", |b| {
+        b.iter(|| std::hint::black_box(list.range_query(500, 628)))
+    });
+    let queue = MsQueue::new_versioned_default();
+    for i in 0..2_000u64 {
+        queue.enqueue(i);
+    }
+    group.bench_function("vcas_queue_enq_deq", |b| {
+        b.iter(|| {
+            queue.enqueue(1);
+            std::hint::black_box(queue.dequeue());
+        })
+    });
+    group.bench_function("vcas_queue_ith_100", |b| b.iter(|| std::hint::black_box(queue.ith(100))));
+    group.finish();
+}
+
+criterion_group! {
+    name = structures;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_bst_point_ops, bench_bst_range_queries, bench_list_and_queue
+}
+criterion_main!(structures);

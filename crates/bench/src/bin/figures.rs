@@ -1,0 +1,22 @@
+//! Regenerates the data series behind the paper's figures and tables.
+//!
+//! Usage: `cargo run -p vcas-bench --release --bin figures -- <experiment>` where
+//! `<experiment>` is `fig2a`..`fig2m`, `fig3`, `table1`, `ablation`, or `all`.
+
+use vcas_bench::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = ExperimentConfig::default();
+    eprintln!(
+        "# config: duration={}ms small={} large={} threads={:?}",
+        cfg.duration_ms, cfg.small_size, cfg.large_size, cfg.threads
+    );
+    if args.is_empty() {
+        eprintln!("usage: figures <fig2a..fig2m|fig3|table1|ablation|all> [more experiments...]");
+        std::process::exit(2);
+    }
+    for id in &args {
+        run_experiment(id, &cfg);
+    }
+}

@@ -1,0 +1,463 @@
+//! Figure/table runners. Each function prints TSV rows: one per data point.
+
+use std::sync::Arc;
+
+use vcas_core::Camera;
+use vcas_ebr::pin;
+use vcas_structures::queries::{run_query, QueryKind};
+use vcas_structures::traits::AtomicRangeMap;
+use vcas_structures::{DcBst, HarrisList, LockBst, MsQueue, Nbbst};
+use vcas_workload::{run_dedicated, run_mixed, run_sorted_insert, Mix, WorkloadSpec};
+
+/// Sizing and duration knobs (see crate docs for the environment variables).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Timed window per data point, milliseconds.
+    pub duration_ms: u64,
+    /// "Small" (cache-resident) structure size; stands in for the paper's 100K keys.
+    pub small_size: u64,
+    /// "Large" structure size; stands in for the paper's 100M keys.
+    pub large_size: u64,
+    /// Thread counts for the scalability figures.
+    pub threads: Vec<usize>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            duration_ms: env_u64("VCAS_BENCH_MS", 200),
+            small_size: env_u64("VCAS_BENCH_SMALL", 20_000),
+            large_size: env_u64("VCAS_BENCH_LARGE", 200_000),
+            threads: std::env::var("VCAS_BENCH_THREADS")
+                .ok()
+                .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+                .filter(|v: &Vec<usize>| !v.is_empty())
+                .unwrap_or_else(|| vec![1, 2, 4, 8]),
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The set of competing structures used in the scalability and rqsize figures.
+fn contenders() -> Vec<(&'static str, Arc<dyn AtomicRangeMap>)> {
+    vec![
+        ("VcasBST", Arc::new(Nbbst::new_versioned(&Camera::new()))),
+        ("BST(non-atomic-rq)", Arc::new(Nbbst::new_plain())),
+        ("DcBST", Arc::new(DcBst::new())),
+        ("LockBST", Arc::new(LockBst::new())),
+        ("VcasList", Arc::new(HarrisList::new_versioned_default())),
+    ]
+}
+
+fn scalability(cfg: &ExperimentConfig, figure: &str, size: u64, mix: Mix, range_size: u64) {
+    println!("# {figure}: mix={} size={size} rqsize={range_size}", mix.label());
+    println!("{}", header_row(cfg));
+    for (name, _) in contenders() {
+        let mut row = vec![name.to_string()];
+        for &threads in &cfg.threads {
+            // A fresh structure per data point so runs do not contaminate each other.
+            let fresh: Arc<dyn AtomicRangeMap> = fresh_by_name(name);
+            let mut spec = WorkloadSpec::new(threads, size, mix);
+            spec.duration_ms = cfg.duration_ms;
+            spec.range_size = range_size;
+            let tput = run_mixed(fresh, &spec);
+            row.push(format!("{:.3}", tput.mops()));
+        }
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}
+
+fn header_row(cfg: &ExperimentConfig) -> String {
+    let mut cols = vec!["structure".to_string()];
+    cols.extend(cfg.threads.iter().map(|t| format!("{t}thr_Mops")));
+    cols.join("\t")
+}
+
+fn fresh_by_name(name: &str) -> Arc<dyn AtomicRangeMap> {
+    match name {
+        "VcasBST" => Arc::new(Nbbst::new_versioned(&Camera::new())),
+        "BST(non-atomic-rq)" => Arc::new(Nbbst::new_plain()),
+        "DcBST" => Arc::new(DcBst::new()),
+        "LockBST" => Arc::new(LockBst::new()),
+        "VcasList" => Arc::new(HarrisList::new_versioned_default()),
+        other => panic!("unknown structure {other}"),
+    }
+}
+
+fn rqsize_sweep(cfg: &ExperimentConfig, figure: &str, names: &[&str], report_updates: bool) {
+    let sizes = [8u64, 64, 256, 1024, 8 * 1024, 64 * 1024];
+    println!(
+        "# {figure}: dedicated update + RQ threads, 100K-key surrogate ({} keys), {}",
+        cfg.small_size,
+        if report_updates { "update throughput" } else { "RQ throughput" }
+    );
+    let mut cols = vec!["structure".to_string()];
+    cols.extend(sizes.iter().map(|s| format!("rq{s}_Mops")));
+    println!("{}", cols.join("\t"));
+    for name in names {
+        let mut row = vec![name.to_string()];
+        for &rqsize in &sizes {
+            let fresh = fresh_by_name(name);
+            let mut spec =
+                WorkloadSpec::new(0, cfg.small_size, Mix { insert: 50, delete: 50, range: 0 });
+            spec.duration_ms = cfg.duration_ms;
+            spec.range_size = rqsize.min(cfg.small_size);
+            let half = (num_threads(cfg) / 2).max(1);
+            let result = run_dedicated(fresh, &spec, half, half);
+            let t = if report_updates { result.updates } else { result.range_queries };
+            row.push(format!("{:.4}", t.mops()));
+        }
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}
+
+fn num_threads(cfg: &ExperimentConfig) -> usize {
+    cfg.threads.iter().copied().max().unwrap_or(2)
+}
+
+fn fig2i(cfg: &ExperimentConfig) {
+    println!("# fig2i: sorted insert-only workload (chunks of 1024 from a shared work queue)");
+    println!("structure\tkeys\tthreads\tMops");
+    let keys = cfg.small_size;
+    let threads = num_threads(cfg);
+    for name in ["VcasBST", "DcBST", "LockBST"] {
+        let map = fresh_by_name(name);
+        let t = run_sorted_insert(map, keys, threads);
+        println!("{name}\t{keys}\t{threads}\t{:.4}", t.mops());
+    }
+    // The balanced comparator (chromatic tree / VcasCT) is descoped in this reproduction;
+    // contrast with a uniform-random insert-only run on the same structure instead, which
+    // shows what balance would buy (see EXPERIMENTS.md).
+    let map: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned(&Camera::new()));
+    let mut spec =
+        WorkloadSpec::new(threads, keys, Mix { insert: 100, delete: 0, range: 0 });
+    spec.duration_ms = cfg.duration_ms;
+    let t = run_mixed(map, &spec);
+    println!("VcasBST(uniform-insert)\t{keys}\t{threads}\t{:.4}", t.mops());
+    println!();
+}
+
+fn fig2m(cfg: &ExperimentConfig) {
+    println!("# fig2m: overhead of vCAS — VcasBST vs BST, normalized to BST (=1.0)");
+    println!("workload\tBST_Mops\tVcasBST_Mops\tnormalized");
+    let threads = num_threads(cfg);
+    let workloads = [
+        ("lookup-heavy", Mix::lookup_heavy(), 0u64),
+        ("update-heavy", Mix::update_heavy(), 0),
+        ("update-heavy+rq", Mix::update_heavy_with_rq(), 1024),
+    ];
+    for (label, mix, rqsize) in workloads {
+        let mut spec = WorkloadSpec::new(threads, cfg.small_size, mix);
+        spec.duration_ms = cfg.duration_ms;
+        spec.range_size = rqsize.max(16);
+        let plain: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_plain());
+        let plain_t = run_mixed(plain, &spec).mops();
+        let vcas: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned(&Camera::new()));
+        let vcas_t = run_mixed(vcas, &spec).mops();
+        println!("{label}\t{plain_t:.4}\t{vcas_t:.4}\t{:.4}", vcas_t / plain_t.max(1e-9));
+    }
+    println!();
+}
+
+fn fig3(cfg: &ExperimentConfig) {
+    println!("# fig3: atomic multi-point queries (VcasBST) vs non-atomic (plain BST)");
+    println!("query\tmode\tupdaters\tqueries_per_sec");
+    let size = cfg.small_size;
+    let threads = num_threads(cfg);
+    let query_threads = (threads / 2).max(1);
+    let update_threads_options = [0usize, (threads / 2).max(1)];
+
+    for kind in QueryKind::all() {
+        for &updaters in &update_threads_options {
+            for atomic in [true, false] {
+                let tree = Arc::new(if atomic {
+                    Nbbst::new_versioned(&Camera::new())
+                } else {
+                    Nbbst::new_plain()
+                });
+                let spec = WorkloadSpec::new(1, size, Mix::update_heavy());
+                vcas_workload::driver::prefill(tree.as_ref(), &spec);
+                let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let mut handles = Vec::new();
+                for t in 0..updaters {
+                    let tree = tree.clone();
+                    let stop = stop.clone();
+                    let key_range = spec.key_range();
+                    handles.push(std::thread::spawn(move || {
+                        use rand::{Rng, SeedableRng};
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(t as u64);
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            let k = rng.gen_range(1..=key_range);
+                            if rng.gen_bool(0.5) {
+                                tree.insert(k, k);
+                            } else {
+                                tree.remove(k);
+                            }
+                        }
+                    }));
+                }
+                let queries_done = Arc::new(std::sync::atomic::AtomicU64::new(0));
+                let mut qhandles = Vec::new();
+                for t in 0..query_threads {
+                    let tree = tree.clone();
+                    let stop = stop.clone();
+                    let queries_done = queries_done.clone();
+                    let key_range = spec.key_range();
+                    qhandles.push(std::thread::spawn(move || {
+                        use rand::{Rng, SeedableRng};
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(900 + t as u64);
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            let start = rng.gen_range(1..=key_range);
+                            std::hint::black_box(run_query(
+                                tree.as_ref(),
+                                kind,
+                                start,
+                                key_range,
+                            ));
+                            queries_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }));
+                }
+                let window = std::time::Duration::from_millis(cfg.duration_ms);
+                let start_time = std::time::Instant::now();
+                std::thread::sleep(window);
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                for h in handles.into_iter().chain(qhandles) {
+                    h.join().unwrap();
+                }
+                let elapsed = start_time.elapsed().as_secs_f64();
+                let qps = queries_done.load(std::sync::atomic::Ordering::Relaxed) as f64 / elapsed;
+                println!(
+                    "{}\t{}\t{}\t{:.1}",
+                    kind.label(),
+                    if atomic { "atomic(VcasBST)" } else { "non-atomic(BST)" },
+                    updaters,
+                    qps
+                );
+                vcas_ebr::flush();
+            }
+        }
+    }
+    println!();
+}
+
+fn table1(cfg: &ExperimentConfig) {
+    println!("# table1: query cost scaling (time per query vs parameter), validating the");
+    println!("# asymptotic bounds of Table 1 — each row should grow roughly linearly in its");
+    println!("# parameter and be insensitive to everything else.");
+    println!("structure\tquery\tparam\tmicros_per_query");
+    let _ = cfg;
+
+    // Queue: i-th element is O(i + c).
+    let queue = MsQueue::new_versioned_default();
+    for i in 0..10_000u64 {
+        queue.enqueue(i);
+    }
+    for i in [10usize, 100, 1000, 5000] {
+        let start = std::time::Instant::now();
+        let reps = 200;
+        for _ in 0..reps {
+            std::hint::black_box(queue.ith(i));
+        }
+        println!(
+            "VcasQueue\tith\t{i}\t{:.2}",
+            start.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+    }
+
+    // List: range(s, e) is O(m + p + c); vary the number of reported keys.
+    let list = HarrisList::new_versioned_default();
+    for k in 0..10_000u64 {
+        list.insert(k, k);
+    }
+    for span in [16u64, 128, 1024, 4096] {
+        let start = std::time::Instant::now();
+        let reps = 100;
+        for _ in 0..reps {
+            std::hint::black_box(list.range_query(2000, 2000 + span));
+        }
+        println!(
+            "VcasList\trange\t{span}\t{:.2}",
+            start.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+    }
+
+    // BST: range(s, e) is O(h + K + c); multisearch is O(|L| * h + c).
+    let tree = Nbbst::new_versioned_default();
+    for k in 0..100_000u64 {
+        tree.insert((k * 2654435761) % 1_000_000, k);
+    }
+    for span in [64u64, 512, 4096, 32768] {
+        let start = std::time::Instant::now();
+        let reps = 100;
+        for _ in 0..reps {
+            std::hint::black_box(tree.range_query(500_000, 500_000 + span));
+        }
+        println!(
+            "VcasBST\trange\t{span}\t{:.2}",
+            start.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+    }
+    for batch in [1usize, 4, 16, 64] {
+        let keys: Vec<u64> = (0..batch as u64).map(|i| (i * 37) % 1_000_000).collect();
+        let start = std::time::Instant::now();
+        let reps = 200;
+        for _ in 0..reps {
+            std::hint::black_box(tree.multi_search(&keys));
+        }
+        println!(
+            "VcasBST\tmultisearch\t{batch}\t{:.2}",
+            start.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+    }
+    println!();
+}
+
+fn ablation(cfg: &ExperimentConfig) {
+    use vcas_core::{DirectVersionedPtr, VersionInfo, VersionedNode, VersionedPtr};
+
+    println!("# ablation (§5): indirect VersionedCas vs recorded-once direct versioning");
+    println!("variant\tcas_per_sec\tsnapshot_read_per_sec");
+    let iters = 200_000u64.max(cfg.duration_ms * 500);
+
+    struct DirectNode {
+        _payload: u64,
+        version: VersionInfo<DirectNode>,
+    }
+    impl VersionedNode for DirectNode {
+        fn version(&self) -> &VersionInfo<Self> {
+            &self.version
+        }
+    }
+
+    // Indirect.
+    {
+        let camera = Camera::new();
+        let guard = pin();
+        let mut nodes: Vec<vcas_ebr::Shared<'_, u64>> =
+            (0..iters).map(|i| vcas_ebr::Owned::new(i).into_shared(&guard)).collect();
+        let ptr: VersionedPtr<u64> = VersionedPtr::from_shared(nodes[0], &camera);
+        let start = std::time::Instant::now();
+        for i in 1..iters as usize {
+            ptr.compare_exchange(nodes[i - 1], nodes[i], &guard);
+            if i % 64 == 0 {
+                camera.take_snapshot();
+            }
+        }
+        let cas_rate = (iters - 1) as f64 / start.elapsed().as_secs_f64();
+        let handle = camera.take_snapshot();
+        let start = std::time::Instant::now();
+        let reads = 100_000;
+        for _ in 0..reads {
+            std::hint::black_box(ptr.load_snapshot(handle, &guard));
+        }
+        let read_rate = reads as f64 / start.elapsed().as_secs_f64();
+        println!("indirect(VersionedCas)\t{cas_rate:.0}\t{read_rate:.0}");
+        for n in nodes.drain(..) {
+            unsafe { drop(n.into_owned()) };
+        }
+    }
+
+    // Direct (recorded-once).
+    {
+        let camera = Camera::new();
+        let guard = pin();
+        let nodes: Vec<vcas_ebr::Shared<'_, DirectNode>> = (0..iters)
+            .map(|i| {
+                vcas_ebr::Owned::new(DirectNode { _payload: i, version: VersionInfo::new() })
+                    .into_shared(&guard)
+            })
+            .collect();
+        let ptr = DirectVersionedPtr::new(nodes[0], &camera);
+        let start = std::time::Instant::now();
+        for i in 1..iters as usize {
+            ptr.compare_exchange(nodes[i - 1], nodes[i], &guard);
+            if i % 64 == 0 {
+                camera.take_snapshot();
+            }
+        }
+        let cas_rate = (iters - 1) as f64 / start.elapsed().as_secs_f64();
+        let handle = camera.take_snapshot();
+        let start = std::time::Instant::now();
+        let reads = 100_000;
+        for _ in 0..reads {
+            std::hint::black_box(ptr.load_snapshot(handle, &guard));
+        }
+        let read_rate = reads as f64 / start.elapsed().as_secs_f64();
+        println!("direct(recorded-once)\t{cas_rate:.0}\t{read_rate:.0}");
+        for n in nodes {
+            unsafe { drop(n.into_owned()) };
+        }
+    }
+    println!();
+}
+
+/// Runs one experiment by id (`fig2a` … `fig3`, `table1`, `ablation`, or `all`).
+pub fn run_experiment(id: &str, cfg: &ExperimentConfig) {
+    match id {
+        "fig2a" => scalability(cfg, "fig2a lookup-heavy small", cfg.small_size, Mix::lookup_heavy(), 0),
+        "fig2b" => scalability(cfg, "fig2b update-heavy small", cfg.small_size, Mix::update_heavy(), 0),
+        "fig2c" => scalability(
+            cfg,
+            "fig2c update-heavy+rq small",
+            cfg.small_size,
+            Mix::update_heavy_with_rq(),
+            1024,
+        ),
+        "fig2d" => scalability(cfg, "fig2d lookup-heavy large", cfg.large_size, Mix::lookup_heavy(), 0),
+        "fig2e" => scalability(cfg, "fig2e update-heavy large", cfg.large_size, Mix::update_heavy(), 0),
+        "fig2f" => scalability(
+            cfg,
+            "fig2f update-heavy+rq large",
+            cfg.large_size,
+            Mix::update_heavy_with_rq(),
+            1024,
+        ),
+        "fig2g" => rqsize_sweep(cfg, "fig2g", &["VcasBST", "DcBST", "LockBST"], true),
+        "fig2h" => rqsize_sweep(cfg, "fig2h", &["VcasBST", "DcBST", "LockBST"], false),
+        "fig2i" => fig2i(cfg),
+        "fig2j" => rqsize_sweep(cfg, "fig2j [C++ counterpart]", &["VcasBST", "DcBST"], true),
+        "fig2k" => rqsize_sweep(cfg, "fig2k [C++ counterpart]", &["VcasBST", "DcBST"], false),
+        "fig2m" => fig2m(cfg),
+        "fig3" => fig3(cfg),
+        "table1" => table1(cfg),
+        "ablation" => ablation(cfg),
+        "all" => {
+            for id in [
+                "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f", "fig2g", "fig2h", "fig2i",
+                "fig2j", "fig2k", "fig2m", "fig3", "table1", "ablation",
+            ] {
+                run_experiment(id, cfg);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = ExperimentConfig::default();
+        assert!(cfg.duration_ms > 0);
+        assert!(cfg.small_size < cfg.large_size);
+        assert!(!cfg.threads.is_empty());
+    }
+
+    #[test]
+    fn contenders_have_unique_names() {
+        let names: std::collections::HashSet<_> =
+            contenders().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), contenders().len());
+    }
+}

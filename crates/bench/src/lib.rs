@@ -1,0 +1,25 @@
+//! # vcas-bench — benchmark harness regenerating the paper's tables and figures
+//!
+//! Two entry points:
+//!
+//! * `cargo run -p vcas-bench --release --bin figures -- <experiment>` — regenerates the data
+//!   series behind every figure and table of the paper's evaluation (§7). `<experiment>` is
+//!   one of `fig2a`–`fig2m`, `fig3`, `fig2i`, `table1`, `ablation`, or `all`. Output is TSV
+//!   on stdout; EXPERIMENTS.md records a reference run and compares it with the paper.
+//! * `cargo bench -p vcas-bench` — Criterion micro-benchmarks backing the constant-time /
+//!   proportional-time claims of §3 (`benches/micro.rs`), the §5 indirection ablation
+//!   (`benches/ablation.rs`), and per-structure operation costs (`benches/structures.rs`).
+//!
+//! Environment variables understood by the `figures` binary (all optional):
+//!
+//! * `VCAS_BENCH_MS` — timed window per data point in milliseconds (default 200).
+//! * `VCAS_BENCH_SMALL` — "100K-key" structure size (default 20 000 on this container).
+//! * `VCAS_BENCH_LARGE` — "100M-key" structure size (default 200 000 on this container).
+//! * `VCAS_BENCH_THREADS` — comma-separated thread counts for the scalability figures
+//!   (default `1,2,4,8`).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, ExperimentConfig};

@@ -1,0 +1,177 @@
+//! A typed versioned pointer: the way data structures consume versioned CAS objects.
+//!
+//! The paper converts a CAS-based data structure into a snapshot-capable one by replacing
+//! every shared mutable pointer (child pointers of a BST, `next` pointers of a list or queue)
+//! with a versioned CAS object holding that pointer. [`VersionedPtr`] packages that pattern:
+//! it stores the tagged pointer word of a [`vcas_ebr::Shared`] inside a
+//! [`crate::VersionedCas<usize>`] and exposes a typed, guard-aware API, including the tag
+//! bits that Harris-style lists use as deletion marks.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use vcas_ebr::{Guard, Owned, Shared};
+
+use crate::camera::Camera;
+use crate::snapshot::SnapshotHandle;
+use crate::versioned::VersionedCas;
+
+/// A versioned CAS object holding a (possibly tagged, possibly null) pointer to `N`.
+pub struct VersionedPtr<N> {
+    inner: VersionedCas<usize>,
+    _marker: PhantomData<*mut N>,
+}
+
+unsafe impl<N: Send + Sync> Send for VersionedPtr<N> {}
+unsafe impl<N: Send + Sync> Sync for VersionedPtr<N> {}
+
+impl<N: 'static> VersionedPtr<N> {
+    /// Creates a versioned pointer initialized to null.
+    pub fn null(camera: &Arc<Camera>) -> Self {
+        VersionedPtr { inner: VersionedCas::new(0usize, camera), _marker: PhantomData }
+    }
+
+    /// Creates a versioned pointer initialized to a freshly allocated node.
+    pub fn new(initial: Owned<N>, camera: &Arc<Camera>) -> Self {
+        let guard = vcas_ebr::pin();
+        let shared = initial.into_shared(&guard);
+        Self::from_shared(shared, camera)
+    }
+
+    /// Creates a versioned pointer initialized to an existing shared pointer.
+    pub fn from_shared(initial: Shared<'_, N>, camera: &Arc<Camera>) -> Self {
+        VersionedPtr {
+            inner: VersionedCas::new(initial.into_data(), camera),
+            _marker: PhantomData,
+        }
+    }
+
+    /// `vRead`: the current tagged pointer. Constant time.
+    pub fn load<'g>(&self, guard: &'g Guard) -> Shared<'g, N> {
+        unsafe { Shared::from_data(self.inner.read(guard)) }
+    }
+
+    /// `readSnapshot`: the tagged pointer this object held when `handle` was acquired.
+    pub fn load_snapshot<'g>(&self, handle: SnapshotHandle, guard: &'g Guard) -> Shared<'g, N> {
+        unsafe { Shared::from_data(self.inner.read_snapshot(handle, guard)) }
+    }
+
+    /// `vCAS`: atomically replaces `current` with `new` if the object still holds `current`.
+    pub fn compare_exchange(
+        &self,
+        current: Shared<'_, N>,
+        new: Shared<'_, N>,
+        guard: &Guard,
+    ) -> bool {
+        self.inner.compare_and_swap(current.into_data(), new.into_data(), guard)
+    }
+
+    /// Number of versions retained for this pointer (diagnostic).
+    pub fn version_count(&self, guard: &Guard) -> usize {
+        self.inner.version_count(guard)
+    }
+
+    /// Truncates versions strictly older than the newest version with timestamp
+    /// `<= min_active` (see [`VersionedCas::collect_before`]).
+    pub fn collect_before(&self, min_active: u64, guard: &Guard) -> usize {
+        self.inner.collect_before(min_active, guard)
+    }
+
+    /// The camera this pointer is associated with.
+    pub fn camera(&self) -> &Arc<Camera> {
+        self.inner.camera()
+    }
+
+    /// Every pointer word still retained in the version list (newest first). Used by
+    /// data-structure destructors to find nodes reachable only through old versions.
+    pub fn all_versions<'g>(&self, guard: &'g Guard) -> Vec<Shared<'g, N>> {
+        self.inner
+            .versions(guard)
+            .into_iter()
+            .map(|(_, data)| unsafe { Shared::from_data(data) })
+            .collect()
+    }
+}
+
+impl<N: 'static> std::fmt::Debug for VersionedPtr<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let guard = vcas_ebr::pin();
+        f.debug_struct("VersionedPtr")
+            .field("ptr", &self.load(&guard).as_raw())
+            .field("versions", &self.version_count(&guard))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcas_ebr::pin;
+
+    #[test]
+    fn null_pointer_roundtrip() {
+        let cam = Camera::new();
+        let p: VersionedPtr<u64> = VersionedPtr::null(&cam);
+        let g = pin();
+        assert!(p.load(&g).is_null());
+    }
+
+    #[test]
+    fn typed_cas_and_snapshot() {
+        let cam = Camera::new();
+        let g = pin();
+        let first = Owned::new(1u64).into_shared(&g);
+        let p: VersionedPtr<u64> = VersionedPtr::from_shared(first, &cam);
+
+        let h0 = cam.take_snapshot();
+        let second = Owned::new(2u64).into_shared(&g);
+        assert!(p.compare_exchange(first, second, &g));
+        let h1 = cam.take_snapshot();
+
+        assert_eq!(unsafe { *p.load(&g).deref() }, 2);
+        assert_eq!(unsafe { *p.load_snapshot(h0, &g).deref() }, 1);
+        assert_eq!(unsafe { *p.load_snapshot(h1, &g).deref() }, 2);
+
+        unsafe {
+            drop(first.into_owned());
+            drop(second.into_owned());
+        }
+    }
+
+    #[test]
+    fn tags_survive_versioning() {
+        let cam = Camera::new();
+        let g = pin();
+        let node = Owned::new(5u64).into_shared(&g);
+        let p: VersionedPtr<u64> = VersionedPtr::from_shared(node, &cam);
+        // Mark the pointer (set tag bit) with a vCAS, as Harris's delete does.
+        assert!(p.compare_exchange(node, node.with_tag(1), &g));
+        let loaded = p.load(&g);
+        assert_eq!(loaded.tag(), 1);
+        assert_eq!(loaded.as_raw(), node.as_raw());
+        unsafe { drop(node.into_owned()) };
+    }
+
+    #[test]
+    fn all_versions_lists_history_newest_first() {
+        let cam = Camera::new();
+        let g = pin();
+        let a = Owned::new(1u64).into_shared(&g);
+        let b = Owned::new(2u64).into_shared(&g);
+        let c = Owned::new(3u64).into_shared(&g);
+        let p: VersionedPtr<u64> = VersionedPtr::from_shared(a, &cam);
+        cam.take_snapshot();
+        assert!(p.compare_exchange(a, b, &g));
+        cam.take_snapshot();
+        assert!(p.compare_exchange(b, c, &g));
+
+        let versions = p.all_versions(&g);
+        let vals: Vec<u64> = versions.iter().map(|s| unsafe { *s.deref() }).collect();
+        assert_eq!(vals, vec![3, 2, 1]);
+        unsafe {
+            drop(a.into_owned());
+            drop(b.into_owned());
+            drop(c.into_owned());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Version-list nodes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vcas_ebr::{Atomic, Shared};
+
+use crate::TBD;
+
+/// One entry of a version list (paper Algorithm 1, `VNode`).
+///
+/// * `val` — the value installed by the successful vCAS that created the node; immutable.
+/// * `ts` — the timestamp of that vCAS. It starts as [`TBD`] and is stamped exactly once by
+///   `initTS` (either by the installing thread or by a helper); once valid it never changes.
+/// * `nextv` — the next (older) version. It is written when the node is created and is only
+///   modified afterwards by version-list truncation, which cuts the list by storing null.
+pub struct VNode<T> {
+    pub(crate) val: T,
+    pub(crate) ts: AtomicU64,
+    pub(crate) nextv: Atomic<VNode<T>>,
+}
+
+impl<T> VNode<T> {
+    /// Creates a version node holding `val` whose next-older version is `next`.
+    pub(crate) fn new(val: T, next: Shared<'_, VNode<T>>) -> Self {
+        VNode { val, ts: AtomicU64::new(TBD), nextv: Atomic::from_shared(next) }
+    }
+
+    /// Creates the initial version node of an object (no older version).
+    pub(crate) fn initial(val: T) -> Self {
+        VNode { val, ts: AtomicU64::new(TBD), nextv: Atomic::null() }
+    }
+
+    /// Returns the node's timestamp (possibly [`TBD`]).
+    pub fn timestamp(&self) -> u64 {
+        self.ts.load(Ordering::SeqCst)
+    }
+
+    /// Is the node's timestamp still the TBD placeholder?
+    pub fn is_tbd(&self) -> bool {
+        self.timestamp() == TBD
+    }
+
+    /// The value recorded in this version.
+    pub fn value(&self) -> &T {
+        &self.val
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for VNode<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ts = self.timestamp();
+        f.debug_struct("VNode")
+            .field("val", &self.val)
+            .field("ts", &if ts == TBD { "TBD".to_string() } else { ts.to_string() })
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcas_ebr::pin;
+
+    #[test]
+    fn new_node_has_tbd_timestamp() {
+        let n: VNode<u64> = VNode::initial(9);
+        assert!(n.is_tbd());
+        assert_eq!(*n.value(), 9);
+    }
+
+    #[test]
+    fn chained_node_points_to_previous() {
+        let g = pin();
+        let first = vcas_ebr::Owned::new(VNode::initial(1u64)).into_shared(&g);
+        let second = VNode::new(2u64, first);
+        let next = second.nextv.load(Ordering::SeqCst, &g);
+        assert_eq!(next, first);
+        assert_eq!(unsafe { *next.deref().value() }, 1);
+        unsafe { drop(first.into_owned()) };
+    }
+}

@@ -1,0 +1,71 @@
+//! Type-erased deferred destructors.
+
+/// A deferred function, executed once the epoch machinery proves no pinned reader can still
+/// hold a reference to the memory it frees.
+pub struct Deferred {
+    call: Option<Box<dyn FnOnce()>>,
+}
+
+// SAFETY: a `Deferred` built from `Deferred::new` only wraps `Send` closures. One built from
+// `Deferred::new_unchecked` may wrap a non-`Send` closure (typically one capturing a raw
+// pointer to a retired node); the unsafe contract of that constructor makes the caller
+// responsible for the closure being safe to run on another thread.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Wraps a `Send` closure.
+    pub fn new<F: FnOnce() + Send + 'static>(f: F) -> Self {
+        Deferred { call: Some(Box::new(f)) }
+    }
+
+    /// Wraps a closure without requiring `Send`.
+    ///
+    /// # Safety
+    /// The closure will be executed on an arbitrary thread; the caller must guarantee that
+    /// doing so is sound (which is the usual situation for "free this now-unreachable node").
+    pub unsafe fn new_unchecked<F: FnOnce() + 'static>(f: F) -> Self {
+        Deferred { call: Some(Box::new(f)) }
+    }
+
+    /// Executes the deferred function (at most once).
+    pub fn call(mut self) {
+        if let Some(f) = self.call.take() {
+            f();
+        }
+    }
+}
+
+impl std::fmt::Debug for Deferred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Deferred { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn call_runs_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let d = Deferred::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        d.call();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dropped_without_call_does_not_run() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let d = Deferred::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(d);
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+    }
+}

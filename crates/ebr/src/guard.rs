@@ -1,0 +1,107 @@
+//! The [`Guard`]: an RAII witness that the current thread is pinned.
+
+use std::rc::Rc;
+
+use crate::atomic::Shared;
+use crate::deferred::Deferred;
+use crate::local::LocalInner;
+
+/// A witness that the current thread is pinned in some [`crate::Domain`].
+///
+/// While a `Guard` is alive, pointers loaded from [`crate::Atomic`] cells remain valid:
+/// memory retired by other threads after this guard was created will not be reclaimed until
+/// the guard is dropped. Guards are cheap (constant-time), may be nested, and are not `Send`.
+pub struct Guard {
+    local: Rc<LocalInner>,
+}
+
+impl Guard {
+    pub(crate) fn new(local: Rc<LocalInner>) -> Self {
+        Guard { local }
+    }
+
+    /// Defers a `Send` closure until no pinned thread can still observe memory retired before
+    /// this call.
+    pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.local.defer(Deferred::new(f));
+    }
+
+    /// Defers a closure without requiring `Send`.
+    ///
+    /// # Safety
+    /// The closure runs on an arbitrary thread at an arbitrary later time. The caller must
+    /// guarantee this is sound — the typical use is freeing a node that has already been made
+    /// unreachable from the data structure.
+    pub unsafe fn defer_unchecked<F: FnOnce() + 'static>(&self, f: F) {
+        self.local.defer(Deferred::new_unchecked(f));
+    }
+
+    /// Retires the allocation behind `ptr`: its destructor runs and its memory is freed once
+    /// every thread pinned at (or before) this moment has unpinned.
+    ///
+    /// # Safety
+    /// `ptr` must be non-null, must have been created from an [`crate::Owned`] / `Box`, must
+    /// already be unreachable for *new* readers, and must not be retired twice.
+    pub unsafe fn defer_destroy<T: 'static>(&self, ptr: Shared<'_, T>) {
+        debug_assert!(!ptr.is_null(), "attempted to retire a null pointer");
+        let raw = ptr.as_raw();
+        self.defer_unchecked(move || drop(Box::from_raw(raw)));
+    }
+
+    /// Flushes this thread's local garbage into the domain's global queue so other threads
+    /// (or a later [`crate::Domain::flush`]) can collect it.
+    pub fn flush(&self) {
+        self.local.flush_bag();
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        self.local.release();
+    }
+}
+
+impl std::fmt::Debug for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Guard { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{pin, Atomic, Owned};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn defer_destroy_frees_exactly_once() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a: Atomic<Probe> = Atomic::new(Probe(drops.clone()));
+        {
+            let g = pin();
+            let old = a.swap(Owned::new(Probe(drops.clone())), Ordering::SeqCst, &g);
+            unsafe { g.defer_destroy(old) };
+        }
+        for _ in 0..16 {
+            crate::flush();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        unsafe { drop(a.take()) };
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn guard_flush_moves_local_garbage() {
+        let g = pin();
+        g.defer(|| {});
+        g.flush();
+        drop(g);
+        crate::flush();
+    }
+}

@@ -1,0 +1,228 @@
+//! Baseline comparators for the evaluation (§7).
+//!
+//! The paper compares against several special-purpose range-queryable structures (KST,
+//! PNB-BST, SnapTree, KiWi, LFCA, EpochBST). Those are separate research codebases; what the
+//! paper's analysis attributes their behaviour to is the *mechanism* each uses to make range
+//! queries atomic. This module implements those mechanisms on top of the same underlying
+//! NBBST so the comparison isolates the mechanism (see DESIGN.md "Substitutions"):
+//!
+//! * [`DcBst`] — **validate-and-retry (double collect)**: a range query traverses the range
+//!   twice and retries until both traversals agree. This is the optimistic mechanism of the
+//!   k-ary search tree (and of PNB-BST's abort-and-restart updates seen from the other side):
+//!   cheap when ranges are small and updates rare, collapsing when ranges are large or
+//!   update-heavy.
+//! * [`LockBst`] — **coarse read/write locking**: updates share a readers lock, range queries
+//!   take the writer lock. This mirrors the "no range-query scalability, fine without range
+//!   queries" shape of lock-based snapshot trees such as SnapTree.
+//! * The **non-atomic** baseline used as the normalizer in Fig. 3 is
+//!   [`crate::bst::Nbbst::range_query_non_atomic`] and friends on the plain tree.
+
+use parking_lot::RwLock;
+
+use crate::bst::Nbbst;
+use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, Value};
+
+/// Double-collect (validate and retry) range queries on the plain NBBST.
+pub struct DcBst {
+    inner: Nbbst,
+    /// Give up after this many failed validations and return the last collection (keeps the
+    /// harness live under extreme contention; the paper's comparators simply keep retrying).
+    max_retries: usize,
+}
+
+impl DcBst {
+    /// Creates an empty tree with the default retry bound (1024).
+    pub fn new() -> DcBst {
+        DcBst { inner: Nbbst::new_plain(), max_retries: 1024 }
+    }
+
+    /// Creates an empty tree with a custom retry bound.
+    pub fn with_max_retries(max_retries: usize) -> DcBst {
+        DcBst { inner: Nbbst::new_plain(), max_retries }
+    }
+
+    fn double_collect<T: PartialEq>(&self, mut collect: impl FnMut() -> T) -> T {
+        let mut previous = collect();
+        for _ in 0..self.max_retries {
+            let current = collect();
+            if current == previous {
+                return current;
+            }
+            previous = current;
+        }
+        previous
+    }
+}
+
+impl Default for DcBst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentMap for DcBst {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        self.inner.insert(key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        self.inner.remove(key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        self.inner.contains(key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        self.inner.get(key)
+    }
+    fn name(&self) -> &'static str {
+        "DcBST"
+    }
+}
+
+impl AtomicRangeMap for DcBst {
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.double_collect(|| self.inner.range_query_non_atomic(lo, hi))
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        self.double_collect(|| self.inner.successors_non_atomic(key, count))
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if lo >= hi {
+            return None;
+        }
+        self.double_collect(|| self.inner.range_query_non_atomic(lo, hi - 1))
+            .into_iter()
+            .find(|(k, _)| pred(*k))
+    }
+    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.double_collect(|| self.inner.multi_search_non_atomic(keys))
+    }
+}
+
+/// Coarse reader-writer locking: updates share the lock, range queries are exclusive.
+pub struct LockBst {
+    inner: Nbbst,
+    lock: RwLock<()>,
+}
+
+impl LockBst {
+    /// Creates an empty tree.
+    pub fn new() -> LockBst {
+        LockBst { inner: Nbbst::new_plain(), lock: RwLock::new(()) }
+    }
+}
+
+impl Default for LockBst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentMap for LockBst {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        let _shared = self.lock.read();
+        self.inner.insert(key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        let _shared = self.lock.read();
+        self.inner.remove(key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        let _shared = self.lock.read();
+        self.inner.contains(key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        let _shared = self.lock.read();
+        self.inner.get(key)
+    }
+    fn name(&self) -> &'static str {
+        "LockBST"
+    }
+}
+
+impl AtomicRangeMap for LockBst {
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let _exclusive = self.lock.write();
+        self.inner.range_query_non_atomic(lo, hi)
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let _exclusive = self.lock.write();
+        self.inner.successors_non_atomic(key, count)
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if lo >= hi {
+            return None;
+        }
+        let _exclusive = self.lock.write();
+        self.inner.range_query_non_atomic(lo, hi - 1).into_iter().find(|(k, _)| pred(*k))
+    }
+    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        let _exclusive = self.lock.write();
+        self.inner.multi_search_non_atomic(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise(map: &dyn AtomicRangeMap) {
+        for k in 0..100u64 {
+            assert!(map.insert(k, k + 1));
+        }
+        assert_eq!(map.range(10, 12), vec![(10, 11), (11, 12), (12, 13)]);
+        assert_eq!(map.successors(97, 5), vec![(98, 99), (99, 100)]);
+        assert_eq!(map.find_if(0, 100, &|k| k % 37 == 0 && k > 0), Some((37, 38)));
+        assert_eq!(map.multi_search(&[5, 500]), vec![Some(6), None]);
+        assert!(map.remove(10));
+        assert!(!map.contains(10));
+    }
+
+    #[test]
+    fn dcbst_basic_semantics() {
+        exercise(&DcBst::new());
+    }
+
+    #[test]
+    fn lockbst_basic_semantics() {
+        exercise(&LockBst::new());
+    }
+
+    #[test]
+    fn dcbst_range_is_atomic_under_ordered_inserts() {
+        let map = Arc::new(DcBst::new());
+        let writer = {
+            let map = map.clone();
+            std::thread::spawn(move || {
+                for k in 0..2000u64 {
+                    map.insert(k, k);
+                }
+            })
+        };
+        for _ in 0..100 {
+            let keys: Vec<Key> = map.range(0, u64::MAX - 2).iter().map(|(k, _)| *k).collect();
+            let expected: Vec<Key> = (0..keys.len() as u64).collect();
+            assert_eq!(keys, expected, "validated double collect must see a prefix");
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn lockbst_range_is_atomic_under_ordered_inserts() {
+        let map = Arc::new(LockBst::new());
+        let writer = {
+            let map = map.clone();
+            std::thread::spawn(move || {
+                for k in 0..2000u64 {
+                    map.insert(k, k);
+                }
+            })
+        };
+        for _ in 0..100 {
+            let keys: Vec<Key> = map.range(0, u64::MAX - 2).iter().map(|(k, _)| *k).collect();
+            let expected: Vec<Key> = (0..keys.len() as u64).collect();
+            assert_eq!(keys, expected, "exclusive-lock range query must see a prefix");
+        }
+        writer.join().unwrap();
+    }
+}

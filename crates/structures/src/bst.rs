@@ -1,0 +1,1027 @@
+//! The non-blocking binary search tree of Ellen, Fatourou, Ruppert and van Breugel (PODC
+//! 2010) — the unbalanced tree used throughout the paper's evaluation — in two modes:
+//!
+//! * **plain** ([`Nbbst::new_plain`]): child pointers are ordinary CAS objects; this is the
+//!   original data structure (`BST` in the paper's figures). Unlinked nodes are reclaimed
+//!   through epoch-based reclamation.
+//! * **versioned** ([`Nbbst::new_versioned`]): child pointers are versioned CAS objects
+//!   associated with one camera (`VcasBST` in the paper). Taking a snapshot is constant time
+//!   and multi-point queries (range, successors, find-if, multi-search, height, scan) run
+//!   atomically on the snapshot while updates proceed concurrently.
+//!
+//! The tree is leaf-oriented: internal nodes route searches, leaves hold the keys. Updates
+//! coordinate through per-node `update` words that pack a state tag (clean / insert-flag /
+//! delete-flag / mark) with a pointer to an `Info` record describing the pending operation,
+//! so any thread can help a stalled operation complete — the structure is lock-free. Each
+//! successful insert or delete is linearized at a single child CAS, which is exactly the
+//! property (§4) that makes the set's abstract state a function of the child pointers and
+//! therefore snapshot-able by versioning only those pointers (the `update` words stay
+//! unversioned — the paper's first optimization in §5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use vcas_core::{Camera, SnapshotHandle, VersionedPtr};
+use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
+
+use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, Value};
+
+/// Sentinel key of the root's left dummy leaf: larger than every user key.
+const INF1: Key = Key::MAX - 1;
+/// Sentinel key of the root and its right dummy leaf: larger than `INF1`.
+const INF2: Key = Key::MAX;
+
+/// Largest key a user may insert.
+pub const MAX_KEY: Key = INF1 - 1;
+
+// State tags packed into the low bits of the `update` word.
+const CLEAN: usize = 0;
+const IFLAG: usize = 1;
+const DFLAG: usize = 2;
+const MARK: usize = 3;
+
+/// Operation descriptor used for helping (the paper's `Info` records).
+#[repr(align(8))]
+struct Info {
+    /// Grandparent of the leaf being removed (deletes only); packed pointer word.
+    gp: usize,
+    /// Parent of the leaf being inserted at / removed.
+    p: usize,
+    /// The leaf found by the search.
+    l: usize,
+    /// The replacement internal node (inserts only).
+    new_internal: usize,
+    /// The parent's `update` word observed by the delete's search (deletes only).
+    pupdate: usize,
+}
+
+/// Tree node. Leaves have `children == None`.
+struct Node {
+    key: Key,
+    value: Value,
+    children: Option<[ChildPtr; 2]>,
+    update: Atomic<Info>,
+}
+
+impl Node {
+    fn leaf(key: Key, value: Value) -> Node {
+        Node { key, value, children: None, update: Atomic::null() }
+    }
+
+    fn internal(key: Key, left: ChildPtr, right: ChildPtr) -> Node {
+        Node { key, value: 0, children: Some([left, right]), update: Atomic::null() }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+
+    fn child(&self, dir: usize) -> &ChildPtr {
+        &self.children.as_ref().expect("child() on a leaf")[dir]
+    }
+}
+
+/// A child pointer in either plain-CAS or versioned-CAS mode.
+enum ChildPtr {
+    Plain(Atomic<Node>),
+    Versioned(VersionedPtr<Node>),
+}
+
+impl ChildPtr {
+    fn new(mode: &Mode, init: Shared<'_, Node>) -> ChildPtr {
+        match mode {
+            Mode::Plain => ChildPtr::Plain(Atomic::from_shared(init)),
+            Mode::Versioned(camera) => {
+                ChildPtr::Versioned(VersionedPtr::from_shared(init, camera))
+            }
+        }
+    }
+
+    fn load<'g>(&self, guard: &'g Guard) -> Shared<'g, Node> {
+        match self {
+            ChildPtr::Plain(a) => a.load(Ordering::SeqCst, guard),
+            ChildPtr::Versioned(v) => v.load(guard),
+        }
+    }
+
+    fn load_view<'g>(&self, view: View, guard: &'g Guard) -> Shared<'g, Node> {
+        match (self, view) {
+            (ChildPtr::Versioned(v), View::Snapshot(h)) => v.load_snapshot(h, guard),
+            _ => self.load(guard),
+        }
+    }
+
+    fn compare_exchange(
+        &self,
+        current: Shared<'_, Node>,
+        new: Shared<'_, Node>,
+        guard: &Guard,
+    ) -> bool {
+        match self {
+            ChildPtr::Plain(a) => a
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard)
+                .is_ok(),
+            ChildPtr::Versioned(v) => v.compare_exchange(current, new, guard),
+        }
+    }
+
+    /// Every node pointer retained by this child (one entry in plain mode, the whole version
+    /// list in versioned mode). Used by the destructor.
+    fn all_versions<'g>(&self, guard: &'g Guard) -> Vec<Shared<'g, Node>> {
+        match self {
+            ChildPtr::Plain(a) => vec![a.load(Ordering::SeqCst, guard)],
+            ChildPtr::Versioned(v) => v.all_versions(guard),
+        }
+    }
+
+    fn collect_before(&self, min_active: u64, guard: &Guard) -> usize {
+        match self {
+            ChildPtr::Plain(_) => 0,
+            ChildPtr::Versioned(v) => v.collect_before(min_active, guard),
+        }
+    }
+}
+
+/// Which state of the tree a read-only traversal observes.
+#[derive(Clone, Copy)]
+enum View {
+    /// The current state (non-atomic across multiple pointers).
+    Current,
+    /// The state captured by a snapshot handle (atomic).
+    Snapshot(SnapshotHandle),
+}
+
+#[derive(Clone)]
+enum Mode {
+    Plain,
+    Versioned(Arc<Camera>),
+}
+
+impl Mode {
+    fn reclaim_unlinked(&self) -> bool {
+        matches!(self, Mode::Plain)
+    }
+}
+
+/// The non-blocking binary search tree (see module docs).
+pub struct Nbbst {
+    root: Atomic<Node>,
+    mode: Mode,
+    updates: AtomicU64,
+    label: &'static str,
+}
+
+impl Nbbst {
+    fn with_mode(mode: Mode, label: &'static str) -> Nbbst {
+        let guard = pin();
+        let left_leaf = Owned::new(Node::leaf(INF1, 0)).into_shared(&guard);
+        let right_leaf = Owned::new(Node::leaf(INF2, 0)).into_shared(&guard);
+        let root = Node::internal(
+            INF2,
+            ChildPtr::new(&mode, left_leaf),
+            ChildPtr::new(&mode, right_leaf),
+        );
+        Nbbst {
+            root: Atomic::new(root),
+            mode,
+            updates: AtomicU64::new(0),
+            label,
+        }
+    }
+
+    /// Creates the original (unversioned) tree — `BST` in the paper's figures.
+    pub fn new_plain() -> Nbbst {
+        Self::with_mode(Mode::Plain, "BST")
+    }
+
+    /// Creates the snapshot-capable tree (`VcasBST`): every child pointer is a versioned CAS
+    /// object associated with `camera`.
+    pub fn new_versioned(camera: &Arc<Camera>) -> Nbbst {
+        Self::with_mode(Mode::Versioned(camera.clone()), "VcasBST")
+    }
+
+    /// Creates a snapshot-capable tree with its own private camera.
+    pub fn new_versioned_default() -> Nbbst {
+        Self::new_versioned(&Camera::new())
+    }
+
+    /// The camera associated with a versioned tree (`None` for a plain tree).
+    pub fn camera(&self) -> Option<&Arc<Camera>> {
+        match &self.mode {
+            Mode::Plain => None,
+            Mode::Versioned(c) => Some(c),
+        }
+    }
+
+    /// Is this the versioned (`VcasBST`) variant?
+    pub fn is_versioned(&self) -> bool {
+        matches!(self.mode, Mode::Versioned(_))
+    }
+
+    /// Number of successful updates (inserts + removes) applied so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    // ----- search ---------------------------------------------------------------------
+
+    #[inline]
+    fn dir_for(key: Key, node_key: Key) -> usize {
+        usize::from(key >= node_key)
+    }
+
+    /// The paper's `Search(k)`: walks from the root to a leaf, remembering the last two
+    /// internal nodes and their update words.
+    fn search<'g>(&self, key: Key, guard: &'g Guard) -> SearchResult<'g> {
+        let root = self.root.load(Ordering::SeqCst, guard);
+        let mut gp = Shared::null();
+        let mut gpupdate = Shared::null();
+        let mut p = Shared::null();
+        let mut pupdate = Shared::null();
+        let mut l = root;
+        loop {
+            let l_ref = unsafe { l.deref() };
+            if l_ref.is_leaf() {
+                break;
+            }
+            gp = p;
+            gpupdate = pupdate;
+            p = l;
+            pupdate = l_ref.update.load(Ordering::SeqCst, guard);
+            l = l_ref.child(Self::dir_for(key, l_ref.key)).load(guard);
+        }
+        SearchResult { gp, p, gpupdate, pupdate, l }
+    }
+
+    // ----- point operations ------------------------------------------------------------
+
+    /// Inserts `key` (must be `<= MAX_KEY`); returns `false` if already present.
+    pub fn insert(&self, key: Key, value: Value) -> bool {
+        assert!(key <= MAX_KEY, "key {key} exceeds MAX_KEY");
+        let guard = pin();
+        loop {
+            let s = self.search(key, &guard);
+            let l_ref = unsafe { s.l.deref() };
+            if l_ref.key == key {
+                return false;
+            }
+            if s.pupdate.tag() != CLEAN {
+                self.help(s.pupdate, &guard);
+                continue;
+            }
+            let p_ref = unsafe { s.p.deref() };
+
+            // Build the replacement subtree: a new leaf for `key`, an internal node whose
+            // other child is the existing leaf `l` (reused, not copied).
+            let new_leaf = Owned::new(Node::leaf(key, value)).into_shared(&guard);
+            let (lc, rc) = if key < l_ref.key { (new_leaf, s.l) } else { (s.l, new_leaf) };
+            let new_internal = Owned::new(Node::internal(
+                key.max(l_ref.key),
+                ChildPtr::new(&self.mode, lc),
+                ChildPtr::new(&self.mode, rc),
+            ))
+            .into_shared(&guard);
+
+            let op = Owned::new(Info {
+                gp: 0,
+                p: s.p.into_data(),
+                l: s.l.into_data(),
+                new_internal: new_internal.into_data(),
+                pupdate: 0,
+            })
+            .into_shared(&guard);
+
+            // iflag CAS on the parent's update word.
+            if p_ref
+                .update
+                .compare_exchange(
+                    s.pupdate,
+                    op.with_tag(IFLAG),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    &guard,
+                )
+                .is_ok()
+            {
+                // The previous (clean, completed) descriptor is no longer reachable from
+                // this node; we won the CAS, so we are the unique thread retiring it.
+                if !s.pupdate.is_null() {
+                    unsafe { guard.defer_destroy(s.pupdate.with_tag(0)) };
+                }
+                self.help_insert(op, &guard);
+                self.updates.fetch_add(1, Ordering::Relaxed);
+                return true;
+            } else {
+                // Our descriptor and subtree were never published; reclaim them immediately.
+                unsafe {
+                    drop(op.into_owned());
+                    drop(new_internal.into_owned());
+                    drop(new_leaf.into_owned());
+                }
+                let cur = p_ref.update.load(Ordering::SeqCst, &guard);
+                self.help(cur, &guard);
+            }
+        }
+    }
+
+    /// Removes `key`; returns `false` if not present.
+    pub fn remove(&self, key: Key) -> bool {
+        let guard = pin();
+        loop {
+            let s = self.search(key, &guard);
+            let l_ref = unsafe { s.l.deref() };
+            if l_ref.key != key {
+                return false;
+            }
+            if s.gpupdate.tag() != CLEAN {
+                self.help(s.gpupdate, &guard);
+                continue;
+            }
+            if s.pupdate.tag() != CLEAN {
+                self.help(s.pupdate, &guard);
+                continue;
+            }
+            let gp_ref = unsafe { s.gp.deref() };
+
+            let op = Owned::new(Info {
+                gp: s.gp.into_data(),
+                p: s.p.into_data(),
+                l: s.l.into_data(),
+                new_internal: 0,
+                pupdate: s.pupdate.into_data(),
+            })
+            .into_shared(&guard);
+
+            // dflag CAS on the grandparent's update word.
+            if gp_ref
+                .update
+                .compare_exchange(
+                    s.gpupdate,
+                    op.with_tag(DFLAG),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    &guard,
+                )
+                .is_ok()
+            {
+                if !s.gpupdate.is_null() {
+                    unsafe { guard.defer_destroy(s.gpupdate.with_tag(0)) };
+                }
+                if self.help_delete(op, &guard) {
+                    self.updates.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+            } else {
+                unsafe { drop(op.into_owned()) };
+                let cur = gp_ref.update.load(Ordering::SeqCst, &guard);
+                self.help(cur, &guard);
+            }
+        }
+    }
+
+    /// Does the tree currently contain `key`?
+    pub fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns the value associated with `key`, if present.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let guard = pin();
+        let mut node = self.root.load(Ordering::SeqCst, &guard);
+        loop {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                return (n.key == key).then_some(n.value);
+            }
+            node = n.child(Self::dir_for(key, n.key)).load(&guard);
+        }
+    }
+
+    // ----- helping ---------------------------------------------------------------------
+
+    fn help(&self, u: Shared<'_, Info>, guard: &Guard) {
+        match u.tag() {
+            IFLAG => self.help_insert(u.with_tag(0), guard),
+            MARK => self.help_marked(u.with_tag(0), guard),
+            DFLAG => {
+                self.help_delete(u.with_tag(0), guard);
+            }
+            _ => {}
+        }
+    }
+
+    fn help_insert(&self, op: Shared<'_, Info>, guard: &Guard) {
+        let info = unsafe { op.deref() };
+        let p: Shared<'_, Node> = unsafe { Shared::from_data(info.p) };
+        let l: Shared<'_, Node> = unsafe { Shared::from_data(info.l) };
+        let new_internal: Shared<'_, Node> = unsafe { Shared::from_data(info.new_internal) };
+        self.cas_child(p, l, new_internal, guard);
+        // iunflag: release the parent.
+        let p_ref = unsafe { p.deref() };
+        let _ = p_ref.update.compare_exchange(
+            op.with_tag(IFLAG),
+            op.with_tag(CLEAN),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            guard,
+        );
+    }
+
+    fn help_delete(&self, op: Shared<'_, Info>, guard: &Guard) -> bool {
+        let info = unsafe { op.deref() };
+        let p: Shared<'_, Node> = unsafe { Shared::from_data(info.p) };
+        let pupdate: Shared<'_, Info> = unsafe { Shared::from_data(info.pupdate) };
+        let gp: Shared<'_, Node> = unsafe { Shared::from_data(info.gp) };
+        let p_ref = unsafe { p.deref() };
+
+        // mark CAS on the parent.
+        let mark_result = p_ref.update.compare_exchange(
+            pupdate,
+            op.with_tag(MARK),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            guard,
+        );
+        match mark_result {
+            Ok(_) => {
+                // We installed the mark, replacing `pupdate`; retire the old descriptor.
+                if !pupdate.is_null() {
+                    unsafe { guard.defer_destroy(pupdate.with_tag(0)) };
+                }
+                self.help_marked(op, guard);
+                true
+            }
+            Err(err) => {
+                if err.current == op.with_tag(MARK) {
+                    // Another helper already marked on our behalf.
+                    self.help_marked(op, guard);
+                    true
+                } else {
+                    // Someone else got in the way: help them, then back out of the dflag.
+                    self.help(err.current, guard);
+                    let gp_ref = unsafe { gp.deref() };
+                    let _ = gp_ref.update.compare_exchange(
+                        op.with_tag(DFLAG),
+                        op.with_tag(CLEAN),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                        guard,
+                    );
+                    false
+                }
+            }
+        }
+    }
+
+    fn help_marked(&self, op: Shared<'_, Info>, guard: &Guard) {
+        let info = unsafe { op.deref() };
+        let gp: Shared<'_, Node> = unsafe { Shared::from_data(info.gp) };
+        let p: Shared<'_, Node> = unsafe { Shared::from_data(info.p) };
+        let l: Shared<'_, Node> = unsafe { Shared::from_data(info.l) };
+        let p_ref = unsafe { p.deref() };
+
+        // The sibling of the removed leaf replaces the parent.
+        let right = p_ref.child(1).load(guard);
+        let other = if right == l { p_ref.child(0).load(guard) } else { right };
+
+        if self.cas_child(gp, p, other, guard) && self.mode.reclaim_unlinked() {
+            // The winner of the splice is the unique retirer of the two unlinked nodes.
+            unsafe {
+                guard.defer_destroy(p);
+                guard.defer_destroy(l);
+            }
+        }
+        // dunflag: release the grandparent.
+        let gp_ref = unsafe { gp.deref() };
+        let _ = gp_ref.update.compare_exchange(
+            op.with_tag(DFLAG),
+            op.with_tag(CLEAN),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            guard,
+        );
+    }
+
+    /// The paper's `CAS-Child(parent, old, new)`.
+    fn cas_child(
+        &self,
+        parent: Shared<'_, Node>,
+        old: Shared<'_, Node>,
+        new: Shared<'_, Node>,
+        guard: &Guard,
+    ) -> bool {
+        let parent_ref = unsafe { parent.deref() };
+        let new_ref = unsafe { new.deref() };
+        let dir = Self::dir_for(new_ref.key, parent_ref.key);
+        parent_ref.child(dir).compare_exchange(old, new, guard)
+    }
+
+    // ----- multi-point queries ----------------------------------------------------------
+
+    fn view_for_query(&self) -> View {
+        match &self.mode {
+            Mode::Plain => View::Current,
+            Mode::Versioned(camera) => View::Snapshot(camera.take_snapshot()),
+        }
+    }
+
+    fn collect_range(
+        &self,
+        node: Shared<'_, Node>,
+        lo: Key,
+        hi: Key,
+        view: View,
+        out: &mut Vec<(Key, Value)>,
+        guard: &Guard,
+    ) {
+        let n = unsafe { node.deref() };
+        if n.is_leaf() {
+            if n.key >= lo && n.key <= hi && n.key <= MAX_KEY {
+                out.push((n.key, n.value));
+            }
+            return;
+        }
+        if lo < n.key {
+            self.collect_range(n.child(0).load_view(view, guard), lo, hi, view, out, guard);
+        }
+        if hi >= n.key {
+            self.collect_range(n.child(1).load_view(view, guard), lo, hi, view, out, guard);
+        }
+    }
+
+    fn collect_successors(
+        &self,
+        node: Shared<'_, Node>,
+        key: Key,
+        count: usize,
+        view: View,
+        out: &mut Vec<(Key, Value)>,
+        guard: &Guard,
+    ) {
+        if out.len() >= count {
+            return;
+        }
+        let n = unsafe { node.deref() };
+        if n.is_leaf() {
+            if n.key > key && n.key <= MAX_KEY {
+                out.push((n.key, n.value));
+            }
+            return;
+        }
+        if key < n.key {
+            self.collect_successors(n.child(0).load_view(view, guard), key, count, view, out, guard);
+        }
+        if out.len() < count {
+            self.collect_successors(n.child(1).load_view(view, guard), key, count, view, out, guard);
+        }
+    }
+
+    fn search_view(&self, key: Key, view: View, guard: &Guard) -> Option<Value> {
+        let mut node = self.root.load(Ordering::SeqCst, guard);
+        loop {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                return (n.key == key).then_some(n.value);
+            }
+            node = n.child(Self::dir_for(key, n.key)).load_view(view, guard);
+        }
+    }
+
+    fn range_with_view(&self, lo: Key, hi: Key, view: View) -> Vec<(Key, Value)> {
+        let guard = pin();
+        let root = self.root.load(Ordering::SeqCst, &guard);
+        let mut out = Vec::new();
+        self.collect_range(root, lo, hi, view, &mut out, &guard);
+        out
+    }
+
+    /// Atomic range query (versioned mode); non-atomic traversal in plain mode.
+    pub fn range_query(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.range_with_view(lo, hi, self.view_for_query())
+    }
+
+    /// Range query that deliberately ignores snapshots (the paper's non-atomic baseline),
+    /// available in both modes.
+    pub fn range_query_non_atomic(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.range_with_view(lo, hi, View::Current)
+    }
+
+    /// Atomic `succ(k, c)`: the first `c` keys greater than `key` (Table 2).
+    pub fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let view = self.view_for_query();
+        let guard = pin();
+        let root = self.root.load(Ordering::SeqCst, &guard);
+        let mut out = Vec::new();
+        self.collect_successors(root, key, count, view, &mut out, &guard);
+        out
+    }
+
+    /// Non-atomic `succ(k, c)` baseline.
+    pub fn successors_non_atomic(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let guard = pin();
+        let root = self.root.load(Ordering::SeqCst, &guard);
+        let mut out = Vec::new();
+        self.collect_successors(root, key, count, View::Current, &mut out, &guard);
+        out
+    }
+
+    /// Atomic `findif`: first key in `[lo, hi)` satisfying `pred` (Table 2).
+    pub fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if hi == 0 || lo >= hi {
+            return None;
+        }
+        let view = self.view_for_query();
+        self.range_with_view(lo, hi - 1, view).into_iter().find(|(k, _)| pred(*k))
+    }
+
+    /// Atomic `multisearch`: looks up every key against one snapshot (Table 2).
+    pub fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        let view = self.view_for_query();
+        let guard = pin();
+        keys.iter().map(|&k| self.search_view(k, view, &guard)).collect()
+    }
+
+    /// Non-atomic multisearch baseline: independent lookups.
+    pub fn multi_search_non_atomic(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        keys.iter().map(|&k| self.get(k)).collect()
+    }
+
+    /// Atomic structural query: the height of the tree (number of internal levels).
+    pub fn height(&self) -> usize {
+        let view = self.view_for_query();
+        let guard = pin();
+        fn depth(bst: &Nbbst, node: Shared<'_, Node>, view: View, guard: &Guard) -> usize {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                return 0;
+            }
+            1 + depth(bst, n.child(0).load_view(view, guard), view, guard)
+                .max(depth(bst, n.child(1).load_view(view, guard), view, guard))
+        }
+        let root = self.root.load(Ordering::SeqCst, &guard);
+        depth(self, root, view, &guard)
+    }
+
+    /// Atomic full scan of the set (every key/value pair), in ascending key order.
+    pub fn scan(&self) -> Vec<(Key, Value)> {
+        self.range_query(0, MAX_KEY)
+    }
+
+    /// Number of keys currently stored (derived from an atomic scan in versioned mode).
+    pub fn len(&self) -> usize {
+        self.scan().len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Truncates version lists of every child pointer reachable in the current tree,
+    /// reclaiming versions no pinned snapshot can still need. Returns versions retired.
+    pub fn collect_versions(&self) -> usize {
+        let camera = match &self.mode {
+            Mode::Plain => return 0,
+            Mode::Versioned(c) => c.clone(),
+        };
+        let min_active = camera.min_active();
+        let guard = pin();
+        let mut retired = 0;
+        let mut stack = vec![self.root.load(Ordering::SeqCst, &guard)];
+        while let Some(node) = stack.pop() {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                continue;
+            }
+            for dir in 0..2 {
+                retired += n.child(dir).collect_before(min_active, &guard);
+                stack.push(n.child(dir).load(&guard));
+            }
+        }
+        retired
+    }
+}
+
+struct SearchResult<'g> {
+    gp: Shared<'g, Node>,
+    p: Shared<'g, Node>,
+    gpupdate: Shared<'g, Info>,
+    pupdate: Shared<'g, Info>,
+    l: Shared<'g, Node>,
+}
+
+impl Drop for Nbbst {
+    fn drop(&mut self) {
+        // Exclusive access. Two traversals:
+        //
+        // 1. Over the *current* tree only, collecting the operation descriptors currently
+        //    installed in update words. (Descriptors that were replaced have already been
+        //    handed to epoch-based reclamation; descriptors installed in unlinked, marked
+        //    nodes are the same objects as the ones reachable here or already retired, so
+        //    reading update words of old-version nodes would double-free.)
+        //
+        // 2. Over every version of every child pointer, collecting every node the tree ever
+        //    linked (in versioned mode old nodes stay reachable through version lists; in
+        //    plain mode this degenerates to the current tree, since unlinked nodes were
+        //    retired through EBR).
+        let guard = pin();
+        let root = self.root.load(Ordering::SeqCst, &guard);
+
+        let mut info_ptrs = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(node) = stack.pop() {
+            if node.is_null() || !seen.insert(node.as_raw() as usize) {
+                continue;
+            }
+            let n = unsafe { node.deref() };
+            if n.children.is_some() {
+                let u = n.update.load(Ordering::SeqCst, &guard);
+                if !u.is_null() {
+                    info_ptrs.insert(u.with_tag(0).as_raw() as usize);
+                }
+                stack.push(n.child(0).load(&guard));
+                stack.push(n.child(1).load(&guard));
+            }
+        }
+
+        let mut visited_nodes = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if node.is_null() || !visited_nodes.insert(node.as_raw() as usize) {
+                continue;
+            }
+            let n = unsafe { node.deref() };
+            if let Some(children) = &n.children {
+                for child in children {
+                    for version in child.all_versions(&guard) {
+                        stack.push(version);
+                    }
+                }
+            }
+        }
+
+        unsafe {
+            for raw in visited_nodes {
+                drop(Box::from_raw(raw as *mut Node));
+            }
+            for raw in info_ptrs {
+                drop(Box::from_raw(raw as *mut Info));
+            }
+        }
+    }
+}
+
+impl ConcurrentMap for Nbbst {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        Nbbst::insert(self, key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        Nbbst::remove(self, key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        Nbbst::contains(self, key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        Nbbst::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl AtomicRangeMap for Nbbst {
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.range_query(lo, hi)
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        Nbbst::successors(self, key, count)
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        Nbbst::find_if(self, lo, hi, pred)
+    }
+    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        Nbbst::multi_search(self, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn both_modes() -> Vec<Nbbst> {
+        vec![Nbbst::new_plain(), Nbbst::new_versioned_default()]
+    }
+
+    #[test]
+    fn insert_contains_remove_sequential() {
+        for tree in both_modes() {
+            assert!(tree.insert(5, 50));
+            assert!(tree.insert(3, 30));
+            assert!(tree.insert(8, 80));
+            assert!(!tree.insert(5, 99), "duplicate insert must fail");
+            assert!(tree.contains(3));
+            assert_eq!(tree.get(8), Some(80));
+            assert!(!tree.contains(4));
+            assert!(tree.remove(3));
+            assert!(!tree.remove(3), "double remove must fail");
+            assert!(!tree.contains(3));
+            assert_eq!(tree.scan(), vec![(5, 50), (8, 80)]);
+        }
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        for tree in both_modes() {
+            assert!(tree.is_empty());
+            assert_eq!(tree.scan(), vec![]);
+            assert_eq!(tree.get(1), None);
+            assert!(!tree.remove(1));
+            assert_eq!(tree.range_query(0, 100), vec![]);
+            assert_eq!(tree.successors(0, 3), vec![]);
+            assert_eq!(tree.multi_search(&[1, 2, 3]), vec![None, None, None]);
+        }
+    }
+
+    #[test]
+    fn matches_btreeset_on_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for tree in both_modes() {
+            let mut model = BTreeSet::new();
+            for _ in 0..4000 {
+                let k = rng.gen_range(0..200u64);
+                match rng.gen_range(0..3) {
+                    0 => assert_eq!(tree.insert(k, k * 10), model.insert(k)),
+                    1 => assert_eq!(tree.remove(k), model.remove(&k)),
+                    _ => assert_eq!(tree.contains(k), model.contains(&k)),
+                }
+            }
+            let scanned: Vec<Key> = tree.scan().iter().map(|(k, _)| *k).collect();
+            let expected: Vec<Key> = model.iter().copied().collect();
+            assert_eq!(scanned, expected);
+        }
+    }
+
+    #[test]
+    fn range_and_successors_and_multisearch() {
+        for tree in both_modes() {
+            for k in (0..100u64).step_by(2) {
+                tree.insert(k, k + 1);
+            }
+            assert_eq!(
+                tree.range_query(10, 20),
+                vec![(10, 11), (12, 13), (14, 15), (16, 17), (18, 19), (20, 21)]
+            );
+            assert_eq!(tree.successors(13, 3), vec![(14, 15), (16, 17), (18, 19)]);
+            assert_eq!(tree.find_if(0, 100, &|k| k % 14 == 0 && k > 0), Some((14, 15)));
+            assert_eq!(
+                tree.multi_search(&[4, 5, 6]),
+                vec![Some(5), None, Some(7)]
+            );
+            assert!(tree.height() >= 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_queries_are_stable_under_updates() {
+        let tree = Nbbst::new_versioned_default();
+        for k in 0..50u64 {
+            tree.insert(k, k);
+        }
+        let camera = tree.camera().unwrap().clone();
+        let handle = camera.take_snapshot();
+        // Mutate heavily after the snapshot.
+        for k in 0..50u64 {
+            tree.remove(k);
+        }
+        for k in 100..150u64 {
+            tree.insert(k, k);
+        }
+        // A query on the old snapshot must still see the original 50 keys.
+        let guard = pin();
+        let root = tree.root.load(Ordering::SeqCst, &guard);
+        let mut out = Vec::new();
+        tree.collect_range(root, 0, MAX_KEY, View::Snapshot(handle), &mut out, &guard);
+        let keys: Vec<Key> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..50u64).collect::<Vec<_>>());
+        // And the current state is the new one.
+        let now: Vec<Key> = tree.scan().iter().map(|(k, _)| *k).collect();
+        assert_eq!(now, (100..150u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_inserts_partitioned_keys() {
+        for tree in both_modes() {
+            let tree = Arc::new(tree);
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let tree = tree.clone();
+                handles.push(std::thread::spawn(move || {
+                    for k in (t * 1000)..(t * 1000 + 500) {
+                        assert!(tree.insert(k, k));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(tree.len(), 2000);
+            for t in 0..4u64 {
+                for k in (t * 1000)..(t * 1000 + 500) {
+                    assert!(tree.contains(k), "missing key {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        // Threads fight over a small key space; afterwards every key's membership must agree
+        // with a replay of which operation "won" (we only check structural invariants: scan
+        // is sorted, no duplicates, contains() agrees with scan()).
+        for tree in both_modes() {
+            let tree = Arc::new(tree);
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let tree = tree.clone();
+                handles.push(std::thread::spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+                    for _ in 0..3000 {
+                        let k = rng.gen_range(0..64u64);
+                        if rng.gen_bool(0.5) {
+                            tree.insert(k, k);
+                        } else {
+                            tree.remove(k);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let scan = tree.scan();
+            let keys: Vec<Key> = scan.iter().map(|(k, _)| *k).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(keys, sorted, "scan must be sorted and duplicate-free");
+            for k in 0..64u64 {
+                assert_eq!(tree.contains(k), keys.contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_range_queries_see_prefix_under_ordered_inserts() {
+        // Writer inserts 0,1,2,... in order; because each insert is atomic, any atomic range
+        // query over the whole key space must observe a gap-free prefix.
+        let tree = Arc::new(Nbbst::new_versioned_default());
+        let writer = {
+            let tree = tree.clone();
+            std::thread::spawn(move || {
+                for k in 0..3000u64 {
+                    tree.insert(k, k);
+                }
+            })
+        };
+        let reader = {
+            let tree = tree.clone();
+            std::thread::spawn(move || {
+                for _ in 0..300 {
+                    let snap = tree.range_query(0, MAX_KEY);
+                    let keys: Vec<Key> = snap.iter().map(|(k, _)| *k).collect();
+                    let expected: Vec<Key> = (0..keys.len() as u64).collect();
+                    assert_eq!(keys, expected, "atomic range query must see a prefix");
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(tree.len(), 3000);
+    }
+
+    #[test]
+    fn version_collection_reclaims_old_versions() {
+        let tree = Nbbst::new_versioned_default();
+        for k in 0..200u64 {
+            tree.insert(k, k);
+        }
+        for k in 0..200u64 {
+            tree.remove(k);
+        }
+        let retired = tree.collect_versions();
+        assert!(retired > 0, "expected some versions to be reclaimed, got {retired}");
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn plain_mode_has_no_camera_and_versioned_does() {
+        assert!(Nbbst::new_plain().camera().is_none());
+        assert!(Nbbst::new_versioned_default().camera().is_some());
+        assert!(!Nbbst::new_plain().is_versioned());
+        assert!(Nbbst::new_versioned_default().is_versioned());
+    }
+}

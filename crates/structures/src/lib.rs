@@ -1,0 +1,40 @@
+//! # vcas-structures — concurrent data structures with constant-time snapshots
+//!
+//! This crate contains the data-structure applications from §4/§6 of *"Constant-Time
+//! Snapshots with Applications to Concurrent Data Structures"* (PPoPP 2021), built on the
+//! [`vcas_core`] camera / versioned-CAS objects and the [`vcas_ebr`] reclamation substrate:
+//!
+//! * [`bst::Nbbst`] — the non-blocking leaf-oriented binary search tree of Ellen, Fatourou,
+//!   Ruppert and van Breugel, in two modes: *plain* (the original, `BST` in the paper's
+//!   figures) and *versioned* (`VcasBST`), where every child pointer is a versioned CAS
+//!   object so that arbitrary multi-point queries run atomically on a snapshot.
+//! * [`list::HarrisList`] — Harris's lock-free sorted linked list, plain and versioned, with
+//!   atomic range queries, multi-searches and i-th element queries.
+//! * [`queue::MsQueue`] — the Michael–Scott queue, plain and versioned, with atomic scans,
+//!   i-th-element and peek-both-ends queries.
+//! * [`baselines`] — comparator structures for the evaluation: `DcBst` (double-collect /
+//!   validate-and-retry range queries, the KST / PNB-BST mechanism), `LockBst` (coarse
+//!   reader-writer locking for range queries, the SnapTree mechanism), and the non-atomic
+//!   query mode available on every structure (the weakly-consistent-iterator baseline).
+//! * [`queries`] — the multi-point query set of the paper's Table 2 (`range`, `succ`,
+//!   `findif`, `multisearch`) expressed over any [`traits::AtomicRangeMap`].
+//!
+//! All ordered structures implement [`traits::ConcurrentMap`] (point operations) and, where
+//! supported, [`traits::AtomicRangeMap`] (atomic multi-point queries), which is what the
+//! workload harness in `vcas-workload` drives.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod bst;
+pub mod list;
+pub mod queries;
+pub mod queue;
+pub mod traits;
+
+pub use baselines::{DcBst, LockBst};
+pub use bst::Nbbst;
+pub use list::HarrisList;
+pub use queries::{run_query, QueryKind, QueryOutcome};
+pub use queue::MsQueue;
+pub use traits::{AtomicRangeMap, ConcurrentMap};

@@ -1,0 +1,526 @@
+//! Harris's lock-free sorted linked list (§4 "Sorted Linked List"), in plain and versioned
+//! modes.
+//!
+//! The mutable state of the list is the `next` pointer of each node, which also carries the
+//! deletion mark in its low tag bit; deletes are linearized when the mark is set. Versioning
+//! exactly those pointers therefore captures the full abstract state, and a query that takes
+//! a snapshot and walks the snapshotted list (skipping marked nodes) is an atomic multi-point
+//! query: range queries, multi-searches, i-th element, and full scans (Table 1 rows for the
+//! Harris linked list).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use vcas_core::{Camera, SnapshotHandle, VersionedPtr};
+use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
+
+use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, Value};
+
+/// Deletion mark stored in the low bit of a node's next pointer.
+const MARK: usize = 1;
+
+struct Node {
+    key: Key,
+    value: Value,
+    next: NextPtr,
+}
+
+enum NextPtr {
+    Plain(Atomic<Node>),
+    Versioned(VersionedPtr<Node>),
+}
+
+impl NextPtr {
+    fn new(mode: &Mode, init: Shared<'_, Node>) -> NextPtr {
+        match mode {
+            Mode::Plain => NextPtr::Plain(Atomic::from_shared(init)),
+            Mode::Versioned(camera) => NextPtr::Versioned(VersionedPtr::from_shared(init, camera)),
+        }
+    }
+
+    fn load<'g>(&self, guard: &'g Guard) -> Shared<'g, Node> {
+        match self {
+            NextPtr::Plain(a) => a.load(Ordering::SeqCst, guard),
+            NextPtr::Versioned(v) => v.load(guard),
+        }
+    }
+
+    fn load_view<'g>(&self, view: View, guard: &'g Guard) -> Shared<'g, Node> {
+        match (self, view) {
+            (NextPtr::Versioned(v), View::Snapshot(h)) => v.load_snapshot(h, guard),
+            _ => self.load(guard),
+        }
+    }
+
+    fn compare_exchange(
+        &self,
+        current: Shared<'_, Node>,
+        new: Shared<'_, Node>,
+        guard: &Guard,
+    ) -> bool {
+        match self {
+            NextPtr::Plain(a) => a
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard)
+                .is_ok(),
+            NextPtr::Versioned(v) => v.compare_exchange(current, new, guard),
+        }
+    }
+
+    fn all_versions<'g>(&self, guard: &'g Guard) -> Vec<Shared<'g, Node>> {
+        match self {
+            NextPtr::Plain(a) => vec![a.load(Ordering::SeqCst, guard)],
+            NextPtr::Versioned(v) => v.all_versions(guard),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum View {
+    Current,
+    Snapshot(SnapshotHandle),
+}
+
+#[derive(Clone)]
+enum Mode {
+    Plain,
+    Versioned(Arc<Camera>),
+}
+
+impl Mode {
+    fn reclaim_unlinked(&self) -> bool {
+        matches!(self, Mode::Plain)
+    }
+}
+
+/// Harris's sorted linked list (see module docs).
+pub struct HarrisList {
+    /// Sentinel head node; its key is never examined.
+    head: Atomic<Node>,
+    mode: Mode,
+    label: &'static str,
+}
+
+impl HarrisList {
+    fn with_mode(mode: Mode, label: &'static str) -> HarrisList {
+        let head = Node { key: 0, value: 0, next: NextPtr::new(&mode, Shared::null()) };
+        HarrisList { head: Atomic::new(head), mode, label }
+    }
+
+    /// The original, unversioned list.
+    pub fn new_plain() -> HarrisList {
+        Self::with_mode(Mode::Plain, "HarrisList")
+    }
+
+    /// The snapshot-capable list (`VcasList`): next pointers are versioned CAS objects.
+    pub fn new_versioned(camera: &Arc<Camera>) -> HarrisList {
+        Self::with_mode(Mode::Versioned(camera.clone()), "VcasList")
+    }
+
+    /// A snapshot-capable list with a private camera.
+    pub fn new_versioned_default() -> HarrisList {
+        Self::new_versioned(&Camera::new())
+    }
+
+    /// The camera associated with a versioned list.
+    pub fn camera(&self) -> Option<&Arc<Camera>> {
+        match &self.mode {
+            Mode::Plain => None,
+            Mode::Versioned(c) => Some(c),
+        }
+    }
+
+    /// Finds the first unmarked node with key `>= key` and its predecessor, unlinking any
+    /// marked nodes encountered on the way (Harris/Michael search).
+    fn search<'g>(&self, key: Key, guard: &'g Guard) -> (Shared<'g, Node>, Shared<'g, Node>) {
+        'retry: loop {
+            let head = self.head.load(Ordering::SeqCst, guard);
+            let mut pred = head;
+            let mut curr = unsafe { pred.deref() }.next.load(guard).with_tag(0);
+            loop {
+                if curr.is_null() {
+                    return (pred, curr);
+                }
+                let curr_ref = unsafe { curr.deref() };
+                let succ = curr_ref.next.load(guard);
+                if succ.tag() == MARK {
+                    // `curr` is logically deleted: splice it out before continuing.
+                    let pred_ref = unsafe { pred.deref() };
+                    if !pred_ref.next.compare_exchange(curr, succ.with_tag(0), guard) {
+                        continue 'retry;
+                    }
+                    if self.mode.reclaim_unlinked() {
+                        unsafe { guard.defer_destroy(curr) };
+                    }
+                    curr = succ.with_tag(0);
+                } else {
+                    if curr_ref.key >= key {
+                        return (pred, curr);
+                    }
+                    pred = curr;
+                    curr = succ.with_tag(0);
+                }
+            }
+        }
+    }
+
+    /// Inserts `key`; returns `false` if already present.
+    pub fn insert(&self, key: Key, value: Value) -> bool {
+        let guard = pin();
+        loop {
+            let (pred, curr) = self.search(key, &guard);
+            if !curr.is_null() && unsafe { curr.deref() }.key == key {
+                return false;
+            }
+            let new = Owned::new(Node {
+                key,
+                value,
+                next: NextPtr::new(&self.mode, curr),
+            })
+            .into_shared(&guard);
+            let pred_ref = unsafe { pred.deref() };
+            if pred_ref.next.compare_exchange(curr, new, &guard) {
+                return true;
+            }
+            // Not published: free and retry.
+            unsafe { drop(new.into_owned()) };
+        }
+    }
+
+    /// Removes `key`; returns `false` if not present.
+    pub fn remove(&self, key: Key) -> bool {
+        let guard = pin();
+        loop {
+            let (pred, curr) = self.search(key, &guard);
+            if curr.is_null() || unsafe { curr.deref() }.key != key {
+                return false;
+            }
+            let curr_ref = unsafe { curr.deref() };
+            let succ = curr_ref.next.load(&guard);
+            if succ.tag() == MARK {
+                continue;
+            }
+            // Logical delete: set the mark bit (the operation's linearization point).
+            if !curr_ref.next.compare_exchange(succ, succ.with_tag(MARK), &guard) {
+                continue;
+            }
+            // Physical unlink (best effort; search() will finish it otherwise).
+            let pred_ref = unsafe { pred.deref() };
+            if pred_ref.next.compare_exchange(curr, succ.with_tag(0), &guard)
+                && self.mode.reclaim_unlinked()
+            {
+                unsafe { guard.defer_destroy(curr) };
+            }
+            return true;
+        }
+    }
+
+    /// Does the list contain `key`?
+    pub fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns the value stored with `key`, if present.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let guard = pin();
+        let head = self.head.load(Ordering::SeqCst, &guard);
+        let mut curr = unsafe { head.deref() }.next.load(&guard).with_tag(0);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(&guard);
+            if node.key >= key {
+                return (node.key == key && next.tag() != MARK).then_some(node.value);
+            }
+            curr = next.with_tag(0);
+        }
+        None
+    }
+
+    // ----- snapshot queries --------------------------------------------------------------
+
+    fn view_for_query(&self) -> View {
+        match &self.mode {
+            Mode::Plain => View::Current,
+            Mode::Versioned(camera) => View::Snapshot(camera.take_snapshot()),
+        }
+    }
+
+    /// Walks the list in the given view, calling `f` for every unmarked (live) node, stopping
+    /// when `f` returns `false`.
+    fn walk(&self, view: View, guard: &Guard, mut f: impl FnMut(Key, Value) -> bool) {
+        let head = self.head.load(Ordering::SeqCst, guard);
+        let mut curr = unsafe { head.deref() }.next.load_view(view, guard).with_tag(0);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load_view(view, guard);
+            if next.tag() != MARK && !f(node.key, node.value) {
+                return;
+            }
+            curr = next.with_tag(0);
+        }
+    }
+
+    /// Atomic range query: every `(key, value)` with `lo <= key <= hi`.
+    pub fn range_query(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let view = self.view_for_query();
+        let guard = pin();
+        let mut out = Vec::new();
+        self.walk(view, &guard, |k, v| {
+            if k > hi {
+                return false;
+            }
+            if k >= lo {
+                out.push((k, v));
+            }
+            true
+        });
+        out
+    }
+
+    /// Atomic multi-search: looks up each key in `keys` against one snapshot.
+    pub fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        let view = self.view_for_query();
+        let guard = pin();
+        let mut sorted: Vec<Key> = keys.to_vec();
+        sorted.sort_unstable();
+        let mut found = std::collections::HashMap::new();
+        let max = sorted.last().copied().unwrap_or(0);
+        self.walk(view, &guard, |k, v| {
+            if sorted.binary_search(&k).is_ok() {
+                found.insert(k, v);
+            }
+            k <= max
+        });
+        keys.iter().map(|k| found.get(k).copied()).collect()
+    }
+
+    /// Atomic i-th element query (0-based, in key order).
+    pub fn ith(&self, i: usize) -> Option<(Key, Value)> {
+        let view = self.view_for_query();
+        let guard = pin();
+        let mut seen = 0usize;
+        let mut out = None;
+        self.walk(view, &guard, |k, v| {
+            if seen == i {
+                out = Some((k, v));
+                return false;
+            }
+            seen += 1;
+            true
+        });
+        out
+    }
+
+    /// Atomic successors query: the first `count` keys greater than `key`.
+    pub fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let view = self.view_for_query();
+        let guard = pin();
+        let mut out = Vec::new();
+        self.walk(view, &guard, |k, v| {
+            if k > key {
+                out.push((k, v));
+            }
+            out.len() < count
+        });
+        out
+    }
+
+    /// Atomic full scan of the list.
+    pub fn scan(&self) -> Vec<(Key, Value)> {
+        let view = self.view_for_query();
+        let guard = pin();
+        let mut out = Vec::new();
+        self.walk(view, &guard, |k, v| {
+            out.push((k, v));
+            true
+        });
+        out
+    }
+
+    /// Number of live keys (atomic in versioned mode).
+    pub fn len(&self) -> usize {
+        self.scan().len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for HarrisList {
+    fn drop(&mut self) {
+        let guard = pin();
+        let mut visited = std::collections::HashSet::new();
+        let head = self.head.load(Ordering::SeqCst, &guard);
+        let mut stack = vec![head];
+        while let Some(node) = stack.pop() {
+            if node.is_null() || !visited.insert(node.with_tag(0).as_raw() as usize) {
+                continue;
+            }
+            let n = unsafe { node.with_tag(0).deref() };
+            for v in n.next.all_versions(&guard) {
+                stack.push(v.with_tag(0));
+            }
+        }
+        unsafe {
+            for raw in visited {
+                drop(Box::from_raw(raw as *mut Node));
+            }
+        }
+    }
+}
+
+impl ConcurrentMap for HarrisList {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        HarrisList::insert(self, key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        HarrisList::remove(self, key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        HarrisList::contains(self, key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        HarrisList::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl AtomicRangeMap for HarrisList {
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.range_query(lo, hi)
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        HarrisList::successors(self, key, count)
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if lo >= hi {
+            return None;
+        }
+        self.range_query(lo, hi - 1).into_iter().find(|(k, _)| pred(*k))
+    }
+    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        HarrisList::multi_search(self, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn both_modes() -> Vec<HarrisList> {
+        vec![HarrisList::new_plain(), HarrisList::new_versioned_default()]
+    }
+
+    #[test]
+    fn sequential_set_semantics() {
+        for list in both_modes() {
+            assert!(list.is_empty());
+            assert!(list.insert(3, 30));
+            assert!(list.insert(1, 10));
+            assert!(list.insert(2, 20));
+            assert!(!list.insert(2, 99));
+            assert_eq!(list.scan(), vec![(1, 10), (2, 20), (3, 30)]);
+            assert!(list.remove(2));
+            assert!(!list.remove(2));
+            assert_eq!(list.get(2), None);
+            assert_eq!(list.get(3), Some(30));
+            assert_eq!(list.scan(), vec![(1, 10), (3, 30)]);
+        }
+    }
+
+    #[test]
+    fn queries_match_contents() {
+        for list in both_modes() {
+            for k in (0..60u64).step_by(3) {
+                list.insert(k, k * 2);
+            }
+            assert_eq!(list.range_query(10, 20), vec![(12, 24), (15, 30), (18, 36)]);
+            assert_eq!(list.multi_search(&[9, 10, 12]), vec![Some(18), None, Some(24)]);
+            assert_eq!(list.ith(0), Some((0, 0)));
+            assert_eq!(list.ith(2), Some((6, 12)));
+            assert_eq!(list.ith(1000), None);
+            assert_eq!(list.successors(10, 2), vec![(12, 24), (15, 30)]);
+        }
+    }
+
+    #[test]
+    fn matches_model_on_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for list in both_modes() {
+            let mut model = BTreeSet::new();
+            for _ in 0..2000 {
+                let k = rng.gen_range(0..100u64);
+                match rng.gen_range(0..3) {
+                    0 => assert_eq!(list.insert(k, k), model.insert(k)),
+                    1 => assert_eq!(list.remove(k), model.remove(&k)),
+                    _ => assert_eq!(list.contains(k), model.contains(&k)),
+                }
+            }
+            let scanned: Vec<Key> = list.scan().iter().map(|(k, _)| *k).collect();
+            assert_eq!(scanned, model.iter().copied().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_removes_are_consistent() {
+        for list in both_modes() {
+            let list = Arc::new(list);
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let list = list.clone();
+                handles.push(std::thread::spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(100 + t);
+                    for _ in 0..1500 {
+                        let k = rng.gen_range(0..48u64);
+                        if rng.gen_bool(0.5) {
+                            list.insert(k, k);
+                        } else {
+                            list.remove(k);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let scan: Vec<Key> = list.scan().iter().map(|(k, _)| *k).collect();
+            let mut sorted = scan.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(scan, sorted, "scan must be sorted and duplicate-free");
+            for k in 0..48u64 {
+                assert_eq!(list.contains(k), scan.contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_scan_sees_prefix_under_ordered_inserts() {
+        let list = Arc::new(HarrisList::new_versioned_default());
+        let writer = {
+            let list = list.clone();
+            std::thread::spawn(move || {
+                for k in 0..1500u64 {
+                    list.insert(k, k);
+                }
+            })
+        };
+        let reader = {
+            let list = list.clone();
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let keys: Vec<Key> = list.scan().iter().map(|(k, _)| *k).collect();
+                    let expected: Vec<Key> = (0..keys.len() as u64).collect();
+                    assert_eq!(keys, expected, "atomic scan must observe a gap-free prefix");
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(list.len(), 1500);
+    }
+}

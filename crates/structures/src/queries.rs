@@ -1,0 +1,125 @@
+//! The multi-point query set of the paper's Table 2, expressed over any
+//! [`AtomicRangeMap`]. Figure 3 measures the throughput of exactly these queries.
+
+use crate::traits::{AtomicRangeMap, Key, Value};
+
+/// The query kinds of Table 2 with the parameters used in the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// `range256`: all keys in `[s, s + 256]`.
+    Range256,
+    /// `succ1`: the first key-value pair with key greater than `k`.
+    Succ1,
+    /// `succ128`: the first 128 key-value pairs with key greater than `k`.
+    Succ128,
+    /// `findif128`: the first key in `[s, e)` divisible by 128.
+    FindIf128,
+    /// `multisearch4`: look up 4 keys atomically.
+    MultiSearch4,
+}
+
+impl QueryKind {
+    /// Every query kind, in the order Figure 3 reports them.
+    pub fn all() -> [QueryKind; 5] {
+        [
+            QueryKind::Range256,
+            QueryKind::Succ1,
+            QueryKind::Succ128,
+            QueryKind::FindIf128,
+            QueryKind::MultiSearch4,
+        ]
+    }
+
+    /// The label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryKind::Range256 => "range256",
+            QueryKind::Succ1 => "succ1",
+            QueryKind::Succ128 => "succ128",
+            QueryKind::FindIf128 => "findif128",
+            QueryKind::MultiSearch4 => "multisearch4",
+        }
+    }
+}
+
+/// Outcome of a query execution; carries enough of the result to stop the optimizer from
+/// discarding the work and to let tests sanity-check it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Number of key/value pairs the query observed.
+    pub observed: usize,
+    /// Sum of the observed keys (cheap checksum).
+    pub key_sum: u64,
+}
+
+/// Runs `kind` against `map`, anchored at `start`, with the paper's Table 2 parameters.
+///
+/// `key_range` is the size of the key universe; it bounds the `findif128` scan the same way
+/// the paper's experiments bound it.
+pub fn run_query(
+    map: &dyn AtomicRangeMap,
+    kind: QueryKind,
+    start: Key,
+    key_range: Key,
+) -> QueryOutcome {
+    match kind {
+        QueryKind::Range256 => summarize_pairs(&map.range(start, start.saturating_add(256))),
+        QueryKind::Succ1 => summarize_pairs(&map.successors(start, 1)),
+        QueryKind::Succ128 => summarize_pairs(&map.successors(start, 128)),
+        QueryKind::FindIf128 => {
+            let hit = map.find_if(start, key_range.max(start + 1), &|k| k % 128 == 0);
+            QueryOutcome {
+                observed: usize::from(hit.is_some()),
+                key_sum: hit.map(|(k, _)| k).unwrap_or(0),
+            }
+        }
+        QueryKind::MultiSearch4 => {
+            let keys = [
+                start,
+                start.wrapping_add(key_range / 4) % key_range.max(1),
+                start.wrapping_add(key_range / 2) % key_range.max(1),
+                start.wrapping_add(3 * (key_range / 4)) % key_range.max(1),
+            ];
+            let results = map.multi_search(&keys);
+            QueryOutcome {
+                observed: results.iter().filter(|r| r.is_some()).count(),
+                key_sum: results.iter().flatten().sum(),
+            }
+        }
+    }
+}
+
+fn summarize_pairs(pairs: &[(Key, Value)]) -> QueryOutcome {
+    QueryOutcome { observed: pairs.len(), key_sum: pairs.iter().map(|(k, _)| *k).sum() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bst::Nbbst;
+
+    #[test]
+    fn queries_run_against_a_populated_tree() {
+        let tree = Nbbst::new_versioned_default();
+        for k in 0..1024u64 {
+            tree.insert(k, k);
+        }
+        for kind in QueryKind::all() {
+            let out = run_query(&tree, kind, 100, 1024);
+            assert!(out.observed > 0, "{} found nothing", kind.label());
+        }
+        // Spot-check the shapes.
+        assert_eq!(run_query(&tree, QueryKind::Range256, 0, 1024).observed, 257);
+        assert_eq!(run_query(&tree, QueryKind::Succ1, 5, 1024).key_sum, 6);
+        assert_eq!(run_query(&tree, QueryKind::Succ128, 0, 1024).observed, 128);
+        assert_eq!(run_query(&tree, QueryKind::FindIf128, 1, 1024).key_sum, 128);
+        assert_eq!(run_query(&tree, QueryKind::MultiSearch4, 0, 1024).observed, 4);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            QueryKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,378 @@
+//! The Michael–Scott queue (§4 "FIFO Queue", Appendix E), in plain and versioned modes.
+//!
+//! The mutable state is the `head` pointer, the `tail` pointer, and each node's `next`
+//! pointer. Versioning those three kinds of pointers lets a snapshot capture the whole queue
+//! state, so queries such as "the i-th element", "both end points", or a full scan can be
+//! answered atomically while enqueues and dequeues proceed concurrently.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use vcas_core::{Camera, SnapshotHandle, VersionedPtr};
+use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
+
+use crate::traits::Value;
+
+struct Node {
+    value: Value,
+    next: PtrCell,
+}
+
+enum PtrCell {
+    Plain(Atomic<Node>),
+    Versioned(VersionedPtr<Node>),
+}
+
+impl PtrCell {
+    fn new(mode: &Mode, init: Shared<'_, Node>) -> PtrCell {
+        match mode {
+            Mode::Plain => PtrCell::Plain(Atomic::from_shared(init)),
+            Mode::Versioned(camera) => PtrCell::Versioned(VersionedPtr::from_shared(init, camera)),
+        }
+    }
+
+    fn load<'g>(&self, guard: &'g Guard) -> Shared<'g, Node> {
+        match self {
+            PtrCell::Plain(a) => a.load(Ordering::SeqCst, guard),
+            PtrCell::Versioned(v) => v.load(guard),
+        }
+    }
+
+    fn load_view<'g>(&self, view: View, guard: &'g Guard) -> Shared<'g, Node> {
+        match (self, view) {
+            (PtrCell::Versioned(v), View::Snapshot(h)) => v.load_snapshot(h, guard),
+            _ => self.load(guard),
+        }
+    }
+
+    fn compare_exchange(
+        &self,
+        current: Shared<'_, Node>,
+        new: Shared<'_, Node>,
+        guard: &Guard,
+    ) -> bool {
+        match self {
+            PtrCell::Plain(a) => a
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard)
+                .is_ok(),
+            PtrCell::Versioned(v) => v.compare_exchange(current, new, guard),
+        }
+    }
+
+    fn all_versions<'g>(&self, guard: &'g Guard) -> Vec<Shared<'g, Node>> {
+        match self {
+            PtrCell::Plain(a) => vec![a.load(Ordering::SeqCst, guard)],
+            PtrCell::Versioned(v) => v.all_versions(guard),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum View {
+    Current,
+    Snapshot(SnapshotHandle),
+}
+
+#[derive(Clone)]
+enum Mode {
+    Plain,
+    Versioned(Arc<Camera>),
+}
+
+impl Mode {
+    fn reclaim_unlinked(&self) -> bool {
+        matches!(self, Mode::Plain)
+    }
+}
+
+/// The Michael–Scott concurrent FIFO queue (see module docs).
+pub struct MsQueue {
+    head: PtrCell,
+    tail: PtrCell,
+    mode: Mode,
+    label: &'static str,
+}
+
+impl MsQueue {
+    fn with_mode(mode: Mode, label: &'static str) -> MsQueue {
+        let guard = pin();
+        // The queue always contains a dummy node; head points at it, tail at the last node.
+        let dummy =
+            Owned::new(Node { value: 0, next: PtrCell::new(&mode, Shared::null()) })
+                .into_shared(&guard);
+        MsQueue {
+            head: PtrCell::new(&mode, dummy),
+            tail: PtrCell::new(&mode, dummy),
+            mode,
+            label,
+        }
+    }
+
+    /// The original, unversioned queue.
+    pub fn new_plain() -> MsQueue {
+        Self::with_mode(Mode::Plain, "MSQueue")
+    }
+
+    /// The snapshot-capable queue (`VcasQueue`).
+    pub fn new_versioned(camera: &Arc<Camera>) -> MsQueue {
+        Self::with_mode(Mode::Versioned(camera.clone()), "VcasQueue")
+    }
+
+    /// A snapshot-capable queue with a private camera.
+    pub fn new_versioned_default() -> MsQueue {
+        Self::new_versioned(&Camera::new())
+    }
+
+    /// The camera associated with a versioned queue.
+    pub fn camera(&self) -> Option<&Arc<Camera>> {
+        match &self.mode {
+            Mode::Plain => None,
+            Mode::Versioned(c) => Some(c),
+        }
+    }
+
+    /// Short name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        self.label
+    }
+
+    /// Appends `value` at the tail of the queue.
+    pub fn enqueue(&self, value: Value) {
+        let guard = pin();
+        let new = Owned::new(Node { value, next: PtrCell::new(&self.mode, Shared::null()) })
+            .into_shared(&guard);
+        loop {
+            let tail = self.tail.load(&guard);
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(&guard);
+            if !next.is_null() {
+                // Tail is falling behind: help advance it, then retry.
+                self.tail.compare_exchange(tail, next, &guard);
+                continue;
+            }
+            if tail_ref.next.compare_exchange(Shared::null(), new, &guard) {
+                // Linearization point; swing the tail (may be done by a helper instead).
+                self.tail.compare_exchange(tail, new, &guard);
+                return;
+            }
+        }
+    }
+
+    /// Removes and returns the oldest element, or `None` if the queue is empty.
+    pub fn dequeue(&self) -> Option<Value> {
+        let guard = pin();
+        loop {
+            let head = self.head.load(&guard);
+            let tail = self.tail.load(&guard);
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(&guard);
+            if head == tail {
+                if next.is_null() {
+                    return None;
+                }
+                // Tail is falling behind: help.
+                self.tail.compare_exchange(tail, next, &guard);
+                continue;
+            }
+            let next_ref = unsafe { next.deref() };
+            let value = next_ref.value;
+            if self.head.compare_exchange(head, next, &guard) {
+                if self.mode.reclaim_unlinked() {
+                    unsafe { guard.defer_destroy(head) };
+                }
+                return Some(value);
+            }
+        }
+    }
+
+    // ----- snapshot queries --------------------------------------------------------------
+
+    fn view_for_query(&self) -> View {
+        match &self.mode {
+            Mode::Plain => View::Current,
+            Mode::Versioned(camera) => View::Snapshot(camera.take_snapshot()),
+        }
+    }
+
+    fn collect_view(&self, view: View, guard: &Guard) -> Vec<Value> {
+        // Elements are the nodes after the dummy pointed to by head, in order.
+        let head = self.head.load_view(view, guard);
+        let mut out = Vec::new();
+        let mut curr = unsafe { head.deref() }.next.load_view(view, guard);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            out.push(node.value);
+            curr = node.next.load_view(view, guard);
+        }
+        out
+    }
+
+    /// Atomic scan: every element currently in the queue, oldest first.
+    pub fn scan(&self) -> Vec<Value> {
+        let view = self.view_for_query();
+        let guard = pin();
+        self.collect_view(view, &guard)
+    }
+
+    /// Atomic i-th element query (0 = oldest). Time O(i + c) with c concurrent dequeues.
+    pub fn ith(&self, i: usize) -> Option<Value> {
+        let view = self.view_for_query();
+        let guard = pin();
+        let head = self.head.load_view(view, &guard);
+        let mut curr = unsafe { head.deref() }.next.load_view(view, &guard);
+        let mut index = 0usize;
+        while let Some(node) = unsafe { curr.as_ref() } {
+            if index == i {
+                return Some(node.value);
+            }
+            index += 1;
+            curr = node.next.load_view(view, &guard);
+        }
+        None
+    }
+
+    /// Atomic query returning both end points of the queue `(oldest, newest)`.
+    pub fn peek_end_points(&self) -> (Option<Value>, Option<Value>) {
+        let view = self.view_for_query();
+        let guard = pin();
+        let elements = self.collect_view(view, &guard);
+        (elements.first().copied(), elements.last().copied())
+    }
+
+    /// Atomic length query.
+    pub fn len(&self) -> usize {
+        let view = self.view_for_query();
+        let guard = pin();
+        self.collect_view(view, &guard).len()
+    }
+
+    /// Is the queue empty (atomically)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for MsQueue {
+    fn drop(&mut self) {
+        let guard = pin();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = Vec::new();
+        stack.extend(self.head.all_versions(&guard));
+        stack.extend(self.tail.all_versions(&guard));
+        while let Some(node) = stack.pop() {
+            if node.is_null() || !visited.insert(node.as_raw() as usize) {
+                continue;
+            }
+            let n = unsafe { node.deref() };
+            stack.extend(n.next.all_versions(&guard));
+        }
+        unsafe {
+            for raw in visited {
+                drop(Box::from_raw(raw as *mut Node));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both_modes() -> Vec<MsQueue> {
+        vec![MsQueue::new_plain(), MsQueue::new_versioned_default()]
+    }
+
+    #[test]
+    fn fifo_order_sequential() {
+        for q in both_modes() {
+            assert!(q.is_empty());
+            assert_eq!(q.dequeue(), None);
+            for i in 0..10u64 {
+                q.enqueue(i);
+            }
+            assert_eq!(q.len(), 10);
+            assert_eq!(q.scan(), (0..10u64).collect::<Vec<_>>());
+            assert_eq!(q.ith(0), Some(0));
+            assert_eq!(q.ith(9), Some(9));
+            assert_eq!(q.ith(10), None);
+            assert_eq!(q.peek_end_points(), (Some(0), Some(9)));
+            for i in 0..10u64 {
+                assert_eq!(q.dequeue(), Some(i));
+            }
+            assert_eq!(q.dequeue(), None);
+            assert_eq!(q.peek_end_points(), (None, None));
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_preserve_multiset() {
+        for q in both_modes() {
+            let q = Arc::new(q);
+            let produced: u64 = 4 * 2000;
+            let consumed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let q = q.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..2000u64 {
+                        q.enqueue(t * 2000 + i);
+                    }
+                }));
+            }
+            for _ in 0..4 {
+                let q = q.clone();
+                let consumed = consumed.clone();
+                let sum = sum.clone();
+                handles.push(std::thread::spawn(move || loop {
+                    if consumed.load(Ordering::Relaxed) >= produced {
+                        break;
+                    }
+                    if let Some(v) = q.dequeue() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(consumed.load(Ordering::Relaxed), produced);
+            assert_eq!(sum.load(Ordering::Relaxed), (0..produced).sum::<u64>());
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_scan_is_a_contiguous_window() {
+        // One producer enqueues 0,1,2,... and one consumer dequeues in order; every atomic
+        // scan must therefore be a contiguous run of integers.
+        let q = Arc::new(MsQueue::new_versioned_default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..4000u64 {
+                    q.enqueue(i);
+                }
+            })
+        };
+        let consumer = {
+            let q = q.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    q.dequeue();
+                }
+            })
+        };
+        for _ in 0..200 {
+            let scan = q.scan();
+            for w in scan.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "scan must be a contiguous window of the stream");
+            }
+        }
+        producer.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        consumer.join().unwrap();
+    }
+}

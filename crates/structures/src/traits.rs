@@ -1,0 +1,59 @@
+//! Common interfaces implemented by the ordered structures, used by the workload harness.
+
+/// Keys and values are 64-bit integers throughout the evaluation, matching the paper's
+/// integer-key benchmarks.
+pub type Key = u64;
+/// Value type stored with each key.
+pub type Value = u64;
+
+/// A concurrent ordered map / set supporting linearizable point operations.
+pub trait ConcurrentMap: Send + Sync {
+    /// Inserts `key` with `value`; returns `false` if the key was already present.
+    fn insert(&self, key: Key, value: Value) -> bool;
+    /// Removes `key`; returns `false` if it was not present.
+    fn remove(&self, key: Key) -> bool;
+    /// Does the map currently contain `key`?
+    fn contains(&self, key: Key) -> bool;
+    /// Returns the value associated with `key`, if any.
+    fn get(&self, key: Key) -> Option<Value>;
+    /// Short human-readable name used in benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+/// A concurrent ordered map that additionally supports *atomic* multi-point queries
+/// (linearizable range queries and friends).
+pub trait AtomicRangeMap: ConcurrentMap {
+    /// Returns every `(key, value)` pair with `lo <= key <= hi`, atomically: the result is
+    /// the content of the range at a single point during the call.
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)>;
+
+    /// Returns up to `count` `(key, value)` pairs with key strictly greater than `key`, in
+    /// ascending order, atomically.
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)>;
+
+    /// Returns the first `(key, value)` pair in `[lo, hi)` whose key satisfies `pred`,
+    /// atomically.
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)>;
+
+    /// Looks up every key in `keys` atomically (all lookups observe the same state).
+    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The traits are object safe so the workload harness can hold heterogeneous structures.
+    #[test]
+    fn traits_are_object_safe() {
+        fn _takes_map(_: &dyn ConcurrentMap) {}
+        fn _takes_range_map(_: &dyn AtomicRangeMap) {}
+    }
+
+    #[test]
+    fn key_value_are_u64() {
+        let k: Key = 5;
+        let v: Value = 6;
+        assert_eq!(k + 1, v);
+    }
+}

@@ -1,0 +1,256 @@
+//! The multithreaded throughput driver.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vcas_structures::traits::{AtomicRangeMap, Key};
+
+use crate::spec::WorkloadSpec;
+
+/// Result of a timed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Completed operations.
+    pub operations: u64,
+    /// Length of the timed window.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.operations as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Millions of operations per second (the unit of the paper's figures).
+    pub fn mops(&self) -> f64 {
+        self.ops_per_sec() / 1.0e6
+    }
+}
+
+/// Result of a run with dedicated update and range-query thread pools (Figs. 2g–2k).
+#[derive(Debug, Clone, Copy)]
+pub struct DedicatedResult {
+    /// Throughput of the update threads (inserts + deletes).
+    pub updates: Throughput,
+    /// Throughput of the range-query threads (queries completed, not keys returned).
+    pub range_queries: Throughput,
+}
+
+/// Prefills `map` to `initial_size` distinct keys drawn uniformly from the key universe.
+pub fn prefill(map: &dyn AtomicRangeMap, spec: &WorkloadSpec) {
+    let key_range = spec.key_range();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9E3779B97F4A7C15);
+    let mut inserted = 0;
+    while inserted < spec.initial_size {
+        let k = rng.gen_range(1..=key_range);
+        if map.insert(k, k) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Runs the paper's mixed workload (§7 "Workload"): every thread repeatedly draws an
+/// operation from the mix and a uniformly random key. Returns aggregate throughput.
+pub fn run_mixed(map: Arc<dyn AtomicRangeMap>, spec: &WorkloadSpec) -> Throughput {
+    prefill(map.as_ref(), spec);
+    let key_range = spec.key_range();
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..spec.threads {
+        let map = map.clone();
+        let stop = stop.clone();
+        let total_ops = total_ops.clone();
+        let spec = spec.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(spec.seed + t as u64);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = rng.gen_range(1..=key_range);
+                let dice = rng.gen_range(0..100u32);
+                if dice < spec.mix.insert {
+                    map.insert(key, key);
+                } else if dice < spec.mix.insert + spec.mix.delete {
+                    map.remove(key);
+                } else if dice < spec.mix.insert + spec.mix.delete + spec.mix.range {
+                    let hi = key.saturating_add(spec.range_size).min(key_range);
+                    std::hint::black_box(map.range(key, hi));
+                } else {
+                    std::hint::black_box(map.contains(key));
+                }
+                ops += 1;
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(spec.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    vcas_ebr::flush();
+    Throughput { operations: total_ops.load(Ordering::Relaxed), elapsed }
+}
+
+/// Runs the dedicated-thread experiment of Figs. 2g–2k: `update_threads` threads perform 50%
+/// inserts / 50% deletes while `rq_threads` threads repeatedly execute range queries of
+/// `spec.range_size` keys. Reports the two throughputs separately.
+pub fn run_dedicated(
+    map: Arc<dyn AtomicRangeMap>,
+    spec: &WorkloadSpec,
+    update_threads: usize,
+    rq_threads: usize,
+) -> DedicatedResult {
+    prefill(map.as_ref(), spec);
+    let key_range = spec.key_range();
+    let stop = Arc::new(AtomicBool::new(false));
+    let update_ops = Arc::new(AtomicU64::new(0));
+    let rq_ops = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..update_threads {
+        let map = map.clone();
+        let stop = stop.clone();
+        let update_ops = update_ops.clone();
+        let seed = spec.seed + t as u64;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = rng.gen_range(1..=key_range);
+                if rng.gen_bool(0.5) {
+                    map.insert(key, key);
+                } else {
+                    map.remove(key);
+                }
+                ops += 1;
+            }
+            update_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    for t in 0..rq_threads {
+        let map = map.clone();
+        let stop = stop.clone();
+        let rq_ops = rq_ops.clone();
+        let seed = spec.seed + 1000 + t as u64;
+        let range_size = spec.range_size;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let lo: Key = rng.gen_range(1..=key_range.saturating_sub(range_size).max(1));
+                std::hint::black_box(map.range(lo, lo + range_size));
+                ops += 1;
+            }
+            rq_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(spec.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    vcas_ebr::flush();
+    DedicatedResult {
+        updates: Throughput { operations: update_ops.load(Ordering::Relaxed), elapsed },
+        range_queries: Throughput { operations: rq_ops.load(Ordering::Relaxed), elapsed },
+    }
+}
+
+/// The sorted-insertion workload of Fig. 2i: an ascending key sequence is split into chunks
+/// of 1024 keys placed on a global work queue; threads grab chunks and insert them. Returns
+/// the insert throughput (keys inserted per second over the whole run).
+pub fn run_sorted_insert(
+    map: Arc<dyn AtomicRangeMap>,
+    total_keys: u64,
+    threads: usize,
+) -> Throughput {
+    const CHUNK: u64 = 1024;
+    let next_chunk = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let map = map.clone();
+        let next_chunk = next_chunk.clone();
+        handles.push(std::thread::spawn(move || loop {
+            let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+            let lo = chunk * CHUNK;
+            if lo >= total_keys {
+                break;
+            }
+            let hi = (lo + CHUNK).min(total_keys);
+            for k in lo..hi {
+                map.insert(k + 1, k + 1);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    vcas_ebr::flush();
+    Throughput { operations: total_keys, elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Mix;
+    use vcas_structures::Nbbst;
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput { operations: 2_000_000, elapsed: Duration::from_secs(2) };
+        assert!((t.ops_per_sec() - 1_000_000.0).abs() < 1.0);
+        assert!((t.mops() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefill_reaches_target_size() {
+        let spec = WorkloadSpec::new(1, 500, Mix::update_heavy());
+        let tree = Nbbst::new_versioned_default();
+        prefill(&tree, &spec);
+        assert_eq!(tree.len(), 500);
+    }
+
+    #[test]
+    fn mixed_run_completes_and_reports_positive_throughput() {
+        let mut spec = WorkloadSpec::new(2, 200, Mix::update_heavy_with_rq());
+        spec.duration_ms = 50;
+        spec.range_size = 16;
+        let tree: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned_default());
+        let t = run_mixed(tree, &spec);
+        assert!(t.operations > 0);
+        assert!(t.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn dedicated_run_reports_both_sides() {
+        let mut spec = WorkloadSpec::new(2, 200, Mix::update_heavy());
+        spec.duration_ms = 50;
+        spec.range_size = 32;
+        let tree: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned_default());
+        let r = run_dedicated(tree, &spec, 1, 1);
+        assert!(r.updates.operations > 0);
+        assert!(r.range_queries.operations > 0);
+    }
+
+    #[test]
+    fn sorted_insert_inserts_every_key() {
+        let tree = Arc::new(Nbbst::new_versioned_default());
+        let as_map: Arc<dyn AtomicRangeMap> = tree.clone();
+        let t = run_sorted_insert(as_map, 4096, 2);
+        assert_eq!(t.operations, 4096);
+        assert_eq!(tree.len(), 4096);
+    }
+}

@@ -1,0 +1,24 @@
+//! # vcas-workload — workload generation and throughput harness for the evaluation
+//!
+//! Reimplements the experimental methodology of §7 of the paper:
+//!
+//! * keys drawn uniformly at random from `[1, r]`, with `r` chosen so that the structure
+//!   stays at its prefilled size in expectation given the insert/delete mix;
+//! * operation mixes expressed as percentages of insert / delete / find / range-query
+//!   ([`Mix`]), e.g. the paper's "3i-2d-95f" lookup-heavy and "30i-20d-50f" update-heavy
+//!   mixes;
+//! * timed runs with a configurable number of worker threads hammering one shared structure
+//!   ([`run_mixed`]), or with dedicated update and range-query thread pools
+//!   ([`run_dedicated`], used for the rqsize sweeps of Figs. 2g–2k);
+//! * the sorted-insertion workload of Fig. 2i ([`run_sorted_insert`]), where threads grab
+//!   chunks of an ascending key sequence from a global work queue.
+//!
+//! Throughput is reported in operations per second ([`Throughput`]).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod spec;
+
+pub use driver::{run_dedicated, run_mixed, run_sorted_insert, DedicatedResult, Throughput};
+pub use spec::{Mix, WorkloadSpec};

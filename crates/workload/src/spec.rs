@@ -1,0 +1,105 @@
+//! Workload specifications: operation mixes and run parameters.
+
+/// An operation mix, as percentages of insert / delete / find / range-query.
+///
+/// The percentages must sum to 100; whatever is left after `insert + delete + range` is the
+/// find (lookup) percentage, mirroring how the paper states its mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Percent of operations that are inserts.
+    pub insert: u32,
+    /// Percent of operations that are deletes.
+    pub delete: u32,
+    /// Percent of operations that are range queries.
+    pub range: u32,
+}
+
+impl Mix {
+    /// The paper's lookup-heavy mix: 3% insert, 2% delete, 95% find.
+    pub fn lookup_heavy() -> Mix {
+        Mix { insert: 3, delete: 2, range: 0 }
+    }
+
+    /// The paper's update-heavy mix: 30% insert, 20% delete, 50% find.
+    pub fn update_heavy() -> Mix {
+        Mix { insert: 30, delete: 20, range: 0 }
+    }
+
+    /// The paper's update-heavy mix with 1% range queries: 30% insert, 20% delete, 49% find,
+    /// 1% range.
+    pub fn update_heavy_with_rq() -> Mix {
+        Mix { insert: 30, delete: 20, range: 1 }
+    }
+
+    /// Percent of operations that are finds (whatever is not insert/delete/range).
+    pub fn find(&self) -> u32 {
+        100 - self.insert - self.delete - self.range
+    }
+
+    /// Compact label, e.g. `3i-2d-95f-0rq`.
+    pub fn label(&self) -> String {
+        format!("{}i-{}d-{}f-{}rq", self.insert, self.delete, self.find(), self.range)
+    }
+}
+
+/// Parameters of one timed workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Target size of the structure; it is prefilled to this many keys.
+    pub initial_size: u64,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Inclusive size of each range query (number of keys spanned).
+    pub range_size: u64,
+    /// Length of the timed window in milliseconds.
+    pub duration_ms: u64,
+    /// Seed for the per-thread RNGs (runs are reproducible given the same seed).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with the given thread count and size, using the paper's defaults elsewhere.
+    pub fn new(threads: usize, initial_size: u64, mix: Mix) -> WorkloadSpec {
+        WorkloadSpec {
+            threads,
+            initial_size,
+            mix,
+            range_size: 1024,
+            duration_ms: 300,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The key universe `[1, r]`: chosen (as in §7 "Workload") so the structure stays at the
+    /// initial size in expectation under the insert/delete mix.
+    pub fn key_range(&self) -> u64 {
+        let ins = self.mix.insert.max(1) as u64;
+        let del = self.mix.delete as u64;
+        (self.initial_size * (ins + del) / ins).max(self.initial_size).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_percentages_add_up() {
+        assert_eq!(Mix::lookup_heavy().find(), 95);
+        assert_eq!(Mix::update_heavy().find(), 50);
+        assert_eq!(Mix::update_heavy_with_rq().find(), 49);
+        assert_eq!(Mix::update_heavy().label(), "30i-20d-50f-0rq");
+    }
+
+    #[test]
+    fn key_range_matches_paper_formula() {
+        // Paper example: n = 100K, 30% inserts, 20% deletes -> r = n * 50/30 ~= 166K.
+        let spec = WorkloadSpec::new(1, 100_000, Mix::update_heavy());
+        assert_eq!(spec.key_range(), 100_000 * 50 / 30);
+        // Lookup-only workloads keep r >= n.
+        let spec = WorkloadSpec::new(1, 1000, Mix { insert: 0, delete: 0, range: 0 });
+        assert!(spec.key_range() >= 1000);
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the vCAS constant-time-snapshot reproduction workspace.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/` directories; the
+//! actual functionality lives in the member crates, re-exported here for convenience:
+//!
+//! * [`ebr`] — epoch-based memory reclamation and tagged atomic pointers.
+//! * [`core`] — camera / versioned-CAS objects (the paper's contribution).
+//! * [`structures`] — concurrent data structures with atomic multi-point queries.
+//! * [`workload`] — workload generation and the throughput harness.
+
+pub use vcas_core as core;
+pub use vcas_ebr as ebr;
+pub use vcas_structures as structures;
+pub use vcas_workload as workload;
