@@ -49,7 +49,9 @@ fn bench_vcas_vs_cas(c: &mut Criterion) {
             vvalue += 1;
         })
     });
-    group.bench_function("plain_read", |b| b.iter(|| std::hint::black_box(plain.load(Ordering::SeqCst))));
+    group.bench_function("plain_read", |b| {
+        b.iter(|| std::hint::black_box(plain.load(Ordering::SeqCst)))
+    });
     group.bench_function("vread", |b| b.iter(|| std::hint::black_box(vcell.read(&guard))));
     group.finish();
 }

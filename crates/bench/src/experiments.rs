@@ -134,8 +134,7 @@ fn fig2i(cfg: &ExperimentConfig) {
     // contrast with a uniform-random insert-only run on the same structure instead, which
     // shows what balance would buy (see EXPERIMENTS.md).
     let map: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned(&Camera::new()));
-    let mut spec =
-        WorkloadSpec::new(threads, keys, Mix { insert: 100, delete: 0, range: 0 });
+    let mut spec = WorkloadSpec::new(threads, keys, Mix { insert: 100, delete: 0, range: 0 });
     spec.duration_ms = cfg.duration_ms;
     let t = run_mixed(map, &spec);
     println!("VcasBST(uniform-insert)\t{keys}\t{threads}\t{:.4}", t.mops());
@@ -213,12 +212,7 @@ fn fig3(cfg: &ExperimentConfig) {
                         let mut rng = rand::rngs::StdRng::seed_from_u64(900 + t as u64);
                         while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                             let start = rng.gen_range(1..=key_range);
-                            std::hint::black_box(run_query(
-                                tree.as_ref(),
-                                kind,
-                                start,
-                                key_range,
-                            ));
+                            std::hint::black_box(run_query(tree.as_ref(), kind, start, key_range));
                             queries_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
                     }));
@@ -264,10 +258,7 @@ fn table1(cfg: &ExperimentConfig) {
         for _ in 0..reps {
             std::hint::black_box(queue.ith(i));
         }
-        println!(
-            "VcasQueue\tith\t{i}\t{:.2}",
-            start.elapsed().as_secs_f64() * 1e6 / reps as f64
-        );
+        println!("VcasQueue\tith\t{i}\t{:.2}", start.elapsed().as_secs_f64() * 1e6 / reps as f64);
     }
 
     // List: range(s, e) is O(m + p + c); vary the number of reported keys.
@@ -400,8 +391,12 @@ fn ablation(cfg: &ExperimentConfig) {
 /// Runs one experiment by id (`fig2a` … `fig3`, `table1`, `ablation`, or `all`).
 pub fn run_experiment(id: &str, cfg: &ExperimentConfig) {
     match id {
-        "fig2a" => scalability(cfg, "fig2a lookup-heavy small", cfg.small_size, Mix::lookup_heavy(), 0),
-        "fig2b" => scalability(cfg, "fig2b update-heavy small", cfg.small_size, Mix::update_heavy(), 0),
+        "fig2a" => {
+            scalability(cfg, "fig2a lookup-heavy small", cfg.small_size, Mix::lookup_heavy(), 0)
+        }
+        "fig2b" => {
+            scalability(cfg, "fig2b update-heavy small", cfg.small_size, Mix::update_heavy(), 0)
+        }
         "fig2c" => scalability(
             cfg,
             "fig2c update-heavy+rq small",
@@ -409,8 +404,12 @@ pub fn run_experiment(id: &str, cfg: &ExperimentConfig) {
             Mix::update_heavy_with_rq(),
             1024,
         ),
-        "fig2d" => scalability(cfg, "fig2d lookup-heavy large", cfg.large_size, Mix::lookup_heavy(), 0),
-        "fig2e" => scalability(cfg, "fig2e update-heavy large", cfg.large_size, Mix::update_heavy(), 0),
+        "fig2d" => {
+            scalability(cfg, "fig2d lookup-heavy large", cfg.large_size, Mix::lookup_heavy(), 0)
+        }
+        "fig2e" => {
+            scalability(cfg, "fig2e update-heavy large", cfg.large_size, Mix::update_heavy(), 0)
+        }
         "fig2f" => scalability(
             cfg,
             "fig2f update-heavy+rq large",
@@ -456,8 +455,7 @@ mod tests {
 
     #[test]
     fn contenders_have_unique_names() {
-        let names: std::collections::HashSet<_> =
-            contenders().iter().map(|(n, _)| *n).collect();
+        let names: std::collections::HashSet<_> = contenders().iter().map(|(n, _)| *n).collect();
         assert_eq!(names.len(), contenders().len());
     }
 }

@@ -91,10 +91,7 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
             info.nextv.store(Shared::null(), Ordering::SeqCst);
             info.ts.store(camera.current_timestamp(), Ordering::SeqCst);
         }
-        DirectVersionedPtr {
-            head: Atomic::from_shared(initial),
-            camera: camera.clone(),
-        }
+        DirectVersionedPtr { head: Atomic::from_shared(initial), camera: camera.clone() }
     }
 
     /// Creates a direct versioned pointer initialized to null.
@@ -173,8 +170,7 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
                 guard,
             );
         }
-        match self.head.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard)
-        {
+        match self.head.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard) {
             Ok(_) => {
                 if let Some(new_node) = unsafe { new.as_ref() } {
                     self.init_ts(new_node);

@@ -87,13 +87,8 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
             return true;
         }
         let new_node = Owned::new(VNode::new(new, head)).into_shared(guard);
-        match self.head.compare_exchange(
-            head,
-            new_node,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-            guard,
-        ) {
+        match self.head.compare_exchange(head, new_node, Ordering::SeqCst, Ordering::SeqCst, guard)
+        {
             Ok(_) => {
                 self.init_ts(unsafe { new_node.deref() });
                 true

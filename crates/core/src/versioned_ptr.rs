@@ -40,10 +40,7 @@ impl<N: 'static> VersionedPtr<N> {
 
     /// Creates a versioned pointer initialized to an existing shared pointer.
     pub fn from_shared(initial: Shared<'_, N>, camera: &Arc<Camera>) -> Self {
-        VersionedPtr {
-            inner: VersionedCas::new(initial.into_data(), camera),
-            _marker: PhantomData,
-        }
+        VersionedPtr { inner: VersionedCas::new(initial.into_data(), camera), _marker: PhantomData }
     }
 
     /// `vRead`: the current tagged pointer. Constant time.

@@ -88,12 +88,17 @@ impl<T> Owned<T> {
     }
 
     /// Returns a mutable reference to the boxed value.
+    // Mirrors crossbeam-epoch's inherent method of the same name; implementing the
+    // `AsMut` trait instead would change call-site inference for tagged pointers.
+    #[allow(clippy::should_implement_trait)]
     pub fn as_mut(&mut self) -> &mut T {
         let (raw, _) = decompose::<T>(self.data);
         unsafe { &mut *(raw as *mut T) }
     }
 
     /// Returns a shared reference to the boxed value.
+    // See `as_mut` above.
+    #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &T {
         let (raw, _) = decompose::<T>(self.data);
         unsafe { &*(raw as *const T) }
@@ -217,10 +222,7 @@ impl<'g, T> Eq for Shared<'g, T> {}
 
 impl<'g, T> fmt::Debug for Shared<'g, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Shared")
-            .field("raw", &self.as_raw())
-            .field("tag", &self.tag())
-            .finish()
+        f.debug_struct("Shared").field("raw", &self.as_raw()).field("tag", &self.tag()).finish()
     }
 }
 

@@ -91,9 +91,7 @@ impl ChildPtr {
     fn new(mode: &Mode, init: Shared<'_, Node>) -> ChildPtr {
         match mode {
             Mode::Plain => ChildPtr::Plain(Atomic::from_shared(init)),
-            Mode::Versioned(camera) => {
-                ChildPtr::Versioned(VersionedPtr::from_shared(init, camera))
-            }
+            Mode::Versioned(camera) => ChildPtr::Versioned(VersionedPtr::from_shared(init, camera)),
         }
     }
 
@@ -118,9 +116,9 @@ impl ChildPtr {
         guard: &Guard,
     ) -> bool {
         match self {
-            ChildPtr::Plain(a) => a
-                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard)
-                .is_ok(),
+            ChildPtr::Plain(a) => {
+                a.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard).is_ok()
+            }
             ChildPtr::Versioned(v) => v.compare_exchange(current, new, guard),
         }
     }
@@ -176,17 +174,9 @@ impl Nbbst {
         let guard = pin();
         let left_leaf = Owned::new(Node::leaf(INF1, 0)).into_shared(&guard);
         let right_leaf = Owned::new(Node::leaf(INF2, 0)).into_shared(&guard);
-        let root = Node::internal(
-            INF2,
-            ChildPtr::new(&mode, left_leaf),
-            ChildPtr::new(&mode, right_leaf),
-        );
-        Nbbst {
-            root: Atomic::new(root),
-            mode,
-            updates: AtomicU64::new(0),
-            label,
-        }
+        let root =
+            Node::internal(INF2, ChildPtr::new(&mode, left_leaf), ChildPtr::new(&mode, right_leaf));
+        Nbbst { root: Atomic::new(root), mode, updates: AtomicU64::new(0), label }
     }
 
     /// Creates the original (unversioned) tree — `BST` in the paper's figures.
@@ -259,7 +249,9 @@ impl Nbbst {
     pub fn insert(&self, key: Key, value: Value) -> bool {
         assert!(key <= MAX_KEY, "key {key} exceeds MAX_KEY");
         let guard = pin();
+        let mut attempts = 0u32;
         loop {
+            crate::backoff(&mut attempts);
             let s = self.search(key, &guard);
             let l_ref = unsafe { s.l.deref() };
             if l_ref.key == key {
@@ -327,7 +319,9 @@ impl Nbbst {
     /// Removes `key`; returns `false` if not present.
     pub fn remove(&self, key: Key) -> bool {
         let guard = pin();
+        let mut attempts = 0u32;
         loop {
+            crate::backoff(&mut attempts);
             let s = self.search(key, &guard);
             let l_ref = unsafe { s.l.deref() };
             if l_ref.key != key {
@@ -569,10 +563,24 @@ impl Nbbst {
             return;
         }
         if key < n.key {
-            self.collect_successors(n.child(0).load_view(view, guard), key, count, view, out, guard);
+            self.collect_successors(
+                n.child(0).load_view(view, guard),
+                key,
+                count,
+                view,
+                out,
+                guard,
+            );
         }
         if out.len() < count {
-            self.collect_successors(n.child(1).load_view(view, guard), key, count, view, out, guard);
+            self.collect_successors(
+                n.child(1).load_view(view, guard),
+                key,
+                count,
+                view,
+                out,
+                guard,
+            );
         }
     }
 
@@ -650,16 +658,19 @@ impl Nbbst {
     pub fn height(&self) -> usize {
         let view = self.view_for_query();
         let guard = pin();
-        fn depth(bst: &Nbbst, node: Shared<'_, Node>, view: View, guard: &Guard) -> usize {
+        fn depth(node: Shared<'_, Node>, view: View, guard: &Guard) -> usize {
             let n = unsafe { node.deref() };
             if n.is_leaf() {
                 return 0;
             }
-            1 + depth(bst, n.child(0).load_view(view, guard), view, guard)
-                .max(depth(bst, n.child(1).load_view(view, guard), view, guard))
+            1 + depth(n.child(0).load_view(view, guard), view, guard).max(depth(
+                n.child(1).load_view(view, guard),
+                view,
+                guard,
+            ))
         }
         let root = self.root.load(Ordering::SeqCst, &guard);
-        depth(self, root, view, &guard)
+        depth(root, view, &guard)
     }
 
     /// Atomic full scan of the set (every key/value pair), in ascending key order.
@@ -876,10 +887,7 @@ mod tests {
             );
             assert_eq!(tree.successors(13, 3), vec![(14, 15), (16, 17), (18, 19)]);
             assert_eq!(tree.find_if(0, 100, &|k| k % 14 == 0 && k > 0), Some((14, 15)));
-            assert_eq!(
-                tree.multi_search(&[4, 5, 6]),
-                vec![Some(5), None, Some(7)]
-            );
+            assert_eq!(tree.multi_search(&[4, 5, 6]), vec![Some(5), None, Some(7)]);
             assert!(tree.height() >= 1);
         }
     }

@@ -32,6 +32,37 @@ pub mod queries;
 pub mod queue;
 pub mod traits;
 
+/// Contention backoff for lock-free retry loops; free on the first attempt.
+///
+/// On a single-core machine a retry can only resolve once the operation it keeps racing
+/// with gets scheduled, so we yield the CPU there — otherwise two spinning threads burn
+/// whole scheduler quanta against each other (observed as multi-minute livelocks in the
+/// workload driver). On multi-core machines a `sched_yield` syscall per failed CAS would
+/// distort exactly the contention behavior the paper's scalability figures measure, so we
+/// only issue cheap exponential `spin_loop` hints there. Uncontended fast paths pay
+/// nothing either way.
+#[inline]
+pub(crate) fn backoff(attempts: &mut u32) {
+    if *attempts > 0 {
+        if single_core() {
+            std::thread::yield_now();
+        } else {
+            for _ in 0..(1u32 << (*attempts).min(6)) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+    *attempts = attempts.saturating_add(1);
+}
+
+/// Whether this process has only one CPU to run on (cached).
+fn single_core() -> bool {
+    use std::sync::OnceLock;
+    static SINGLE: OnceLock<bool> = OnceLock::new();
+    *SINGLE
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(false))
+}
+
 pub use baselines::{DcBst, LockBst};
 pub use bst::Nbbst;
 pub use list::HarrisList;

@@ -59,9 +59,9 @@ impl NextPtr {
         guard: &Guard,
     ) -> bool {
         match self {
-            NextPtr::Plain(a) => a
-                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard)
-                .is_ok(),
+            NextPtr::Plain(a) => {
+                a.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard).is_ok()
+            }
             NextPtr::Versioned(v) => v.compare_exchange(current, new, guard),
         }
     }
@@ -166,17 +166,15 @@ impl HarrisList {
     /// Inserts `key`; returns `false` if already present.
     pub fn insert(&self, key: Key, value: Value) -> bool {
         let guard = pin();
+        let mut attempts = 0u32;
         loop {
+            crate::backoff(&mut attempts);
             let (pred, curr) = self.search(key, &guard);
             if !curr.is_null() && unsafe { curr.deref() }.key == key {
                 return false;
             }
-            let new = Owned::new(Node {
-                key,
-                value,
-                next: NextPtr::new(&self.mode, curr),
-            })
-            .into_shared(&guard);
+            let new = Owned::new(Node { key, value, next: NextPtr::new(&self.mode, curr) })
+                .into_shared(&guard);
             let pred_ref = unsafe { pred.deref() };
             if pred_ref.next.compare_exchange(curr, new, &guard) {
                 return true;
@@ -189,7 +187,9 @@ impl HarrisList {
     /// Removes `key`; returns `false` if not present.
     pub fn remove(&self, key: Key) -> bool {
         let guard = pin();
+        let mut attempts = 0u32;
         loop {
+            crate::backoff(&mut attempts);
             let (pred, curr) = self.search(key, &guard);
             if curr.is_null() || unsafe { curr.deref() }.key != key {
                 return false;

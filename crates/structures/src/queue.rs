@@ -52,9 +52,9 @@ impl PtrCell {
         guard: &Guard,
     ) -> bool {
         match self {
-            PtrCell::Plain(a) => a
-                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard)
-                .is_ok(),
+            PtrCell::Plain(a) => {
+                a.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard).is_ok()
+            }
             PtrCell::Versioned(v) => v.compare_exchange(current, new, guard),
         }
     }
@@ -97,15 +97,9 @@ impl MsQueue {
     fn with_mode(mode: Mode, label: &'static str) -> MsQueue {
         let guard = pin();
         // The queue always contains a dummy node; head points at it, tail at the last node.
-        let dummy =
-            Owned::new(Node { value: 0, next: PtrCell::new(&mode, Shared::null()) })
-                .into_shared(&guard);
-        MsQueue {
-            head: PtrCell::new(&mode, dummy),
-            tail: PtrCell::new(&mode, dummy),
-            mode,
-            label,
-        }
+        let dummy = Owned::new(Node { value: 0, next: PtrCell::new(&mode, Shared::null()) })
+            .into_shared(&guard);
+        MsQueue { head: PtrCell::new(&mode, dummy), tail: PtrCell::new(&mode, dummy), mode, label }
     }
 
     /// The original, unversioned queue.
@@ -141,12 +135,14 @@ impl MsQueue {
         let guard = pin();
         let new = Owned::new(Node { value, next: PtrCell::new(&self.mode, Shared::null()) })
             .into_shared(&guard);
+        let mut attempts = 0u32;
         loop {
             let tail = self.tail.load(&guard);
             let tail_ref = unsafe { tail.deref() };
             let next = tail_ref.next.load(&guard);
             if !next.is_null() {
-                // Tail is falling behind: help advance it, then retry.
+                // Tail is falling behind: help advance it, then retry. No backoff — either
+                // our CAS or a competitor's advanced the tail, so progress was just made.
                 self.tail.compare_exchange(tail, next, &guard);
                 continue;
             }
@@ -155,12 +151,15 @@ impl MsQueue {
                 self.tail.compare_exchange(tail, new, &guard);
                 return;
             }
+            // Lost the link CAS to a concurrent enqueue: back off before retrying.
+            crate::backoff(&mut attempts);
         }
     }
 
     /// Removes and returns the oldest element, or `None` if the queue is empty.
     pub fn dequeue(&self) -> Option<Value> {
         let guard = pin();
+        let mut attempts = 0u32;
         loop {
             let head = self.head.load(&guard);
             let tail = self.tail.load(&guard);
@@ -170,7 +169,7 @@ impl MsQueue {
                 if next.is_null() {
                     return None;
                 }
-                // Tail is falling behind: help.
+                // Tail is falling behind: help. No backoff — the tail just advanced.
                 self.tail.compare_exchange(tail, next, &guard);
                 continue;
             }
@@ -182,6 +181,8 @@ impl MsQueue {
                 }
                 return Some(value);
             }
+            // Lost the head CAS to a concurrent dequeue: back off before retrying.
+            crate::backoff(&mut attempts);
         }
     }
 

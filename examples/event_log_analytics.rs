@@ -1,13 +1,13 @@
 //! Streaming analytics over a Michael–Scott queue with constant-time snapshots.
 //!
-//! Producers append events to a `VcasQueue` while consumers drain it; an analytics thread
+//! A producer appends events to a `VcasQueue` while a consumer drains it; an analytics thread
 //! periodically takes an atomic scan of the in-flight events (a consistent view of the whole
 //! queue at one instant) to compute backlog statistics — the "i-th element / all elements"
 //! queries of §4.
 //!
 //! Run with `cargo run --release --example event_log_analytics`.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use vcas_repro::structures::MsQueue;
@@ -15,35 +15,38 @@ use vcas_repro::structures::MsQueue;
 fn main() {
     let queue = Arc::new(MsQueue::new_versioned_default());
     let stop = Arc::new(AtomicBool::new(false));
-    let sequence = Arc::new(AtomicU64::new(0));
 
-    // Two producers append monotonically increasing event ids.
-    let mut workers = Vec::new();
-    for _ in 0..2 {
+    // One producer appends monotonically increasing event ids from a thread-local counter.
+    // (A single producer is what makes the contiguity assertion below sound: with several
+    // producers an id is claimed *before* its enqueue, so ids can reach the queue out of
+    // order and a perfectly atomic snapshot may still see a hole where a claimed id is not
+    // yet enqueued.)
+    let producer = {
         let queue = queue.clone();
         let stop = stop.clone();
-        let sequence = sequence.clone();
-        workers.push(std::thread::spawn(move || {
+        std::thread::spawn(move || {
+            let mut next_id = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                let id = sequence.fetch_add(1, Ordering::Relaxed);
-                queue.enqueue(id);
+                queue.enqueue(next_id);
+                next_id += 1;
             }
-        }));
-    }
+            next_id
+        })
+    };
 
     // One consumer drains at a slower pace so a backlog builds up.
-    {
+    let consumer = {
         let queue = queue.clone();
         let stop = stop.clone();
-        workers.push(std::thread::spawn(move || {
+        std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 for _ in 0..64 {
                     queue.dequeue();
                 }
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
-        }));
-    }
+        })
+    };
 
     // Analytics: atomic scans of the queue. Because the scan is a snapshot, the backlog it
     // reports is a state the queue really was in: the ids form one contiguous window of the
@@ -53,7 +56,11 @@ fn main() {
         let backlog = queue.scan();
         let (oldest, newest) = queue.peek_end_points();
         if let (Some(first), Some(last)) = (backlog.first(), backlog.last()) {
-            assert_eq!(backlog.len() as u64, last - first + 1, "snapshot backlog must be contiguous");
+            assert_eq!(
+                backlog.len() as u64,
+                last - first + 1,
+                "snapshot backlog must be contiguous"
+            );
             println!(
                 "tick {tick}: backlog={} events, oldest={:?}, newest={:?}, p50 event id={}",
                 backlog.len(),
@@ -67,8 +74,7 @@ fn main() {
     }
 
     stop.store(true, Ordering::Relaxed);
-    for w in workers {
-        w.join().unwrap();
-    }
-    println!("produced {} events in total", sequence.load(Ordering::Relaxed));
+    let produced = producer.join().unwrap();
+    consumer.join().unwrap();
+    println!("produced {produced} events in total");
 }

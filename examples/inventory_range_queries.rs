@@ -64,8 +64,10 @@ fn main() {
             }
             total += stocked.len();
         }
-        println!("report {report}: {total} SKUs stocked in audited aisles, busiest aisle {} ({} SKUs)",
-            busiest.0, busiest.1);
+        println!(
+            "report {report}: {total} SKUs stocked in audited aisles, busiest aisle {} ({} SKUs)",
+            busiest.0, busiest.1
+        );
 
         // Atomic multi-search: check a picking list against a single snapshot.
         let picking_list = [sku(41, 10), sku(41, 11), sku(48, 500), sku(91, 2)];

@@ -87,7 +87,7 @@ fn vcas_bst_multisearch_is_atomic() {
             let low_present = result[0].is_some();
             let high_present = result[1].is_some();
             assert!(
-                !(high_present && !low_present),
+                !high_present || low_present,
                 "multi-search observed the high key of pair {pair} without its low key"
             );
         }

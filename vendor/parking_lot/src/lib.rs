@@ -1,0 +1,240 @@
+//! Minimal API-compatible shim for the `parking_lot` crate (offline build environment).
+//!
+//! Provides [`Mutex`] and [`RwLock`] with `parking_lot`'s non-poisoning API, implemented
+//! over `std::sync`. Poisoning is converted into propagating the panic-free inner value
+//! (`into_inner` on the poison error), matching `parking_lot` semantics where a panicking
+//! holder does not poison the lock.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A mutual-exclusion lock with a non-poisoning `lock()` API.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A reader-writer lock with a non-poisoning `read()`/`write()` API.
+///
+/// Like `parking_lot` (and unlike glibc's default reader-preferring pthread rwlock,
+/// which backs `std::sync::RwLock` on Linux), writers are preferred: once a writer is
+/// waiting, new readers hold off until it has acquired the lock. Structures such as
+/// `LockBst` take the shared side on every update and the exclusive side for range
+/// queries, so without this the exclusive side can starve for entire benchmark windows.
+pub struct RwLock<T: ?Sized> {
+    writers_waiting: std::sync::atomic::AtomicUsize,
+    /// Readers park here (instead of busy-waiting) while a writer is queued.
+    gate: std::sync::Mutex<()>,
+    gate_cv: std::sync::Condvar,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// RAII shared-read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// RAII exclusive-write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            writers_waiting: std::sync::atomic::AtomicUsize::new(0),
+            gate: std::sync::Mutex::new(()),
+            gate_cv: std::sync::Condvar::new(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available. Never poisons.
+    ///
+    /// Parks (does not busy-wait) while a writer is queued — writer preference, see the
+    /// type docs.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        use std::sync::atomic::Ordering;
+        if self.writers_waiting.load(Ordering::Acquire) > 0 {
+            let mut held = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            while self.writers_waiting.load(Ordering::Acquire) > 0 {
+                held = self.gate_cv.wait(held).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        RwLockReadGuard(self.inner.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Acquires exclusive write access, blocking until available. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        use std::sync::atomic::Ordering;
+        self.writers_waiting.fetch_add(1, Ordering::AcqRel);
+        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        // Once the lock is held, readers queue on the inner lock itself; release the gate.
+        // Taking the gate mutex before notifying pairs with the re-check loop in `read()`,
+        // so a reader that just saw `writers_waiting > 0` cannot miss the wakeup.
+        if self.writers_waiting.fetch_sub(1, Ordering::AcqRel) == 1 {
+            drop(self.gate.lock().unwrap_or_else(|e| e.into_inner()));
+            self.gate_cv.notify_all();
+        }
+        RwLockWriteGuard(guard)
+    }
+
+    /// Returns a mutable reference to the underlying data (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn waiting_writer_gets_through_a_reader_storm() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let lock = Arc::new(RwLock::new(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Readers re-acquire in a tight loop so the shared side is (nearly) always held —
+        // the situation where a reader-preferring lock starves writers.
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = lock.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = lock.read();
+                        std::hint::black_box(*g);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            *lock.write() += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 50);
+    }
+
+    #[test]
+    fn mutex_does_not_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

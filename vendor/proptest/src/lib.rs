@@ -1,0 +1,442 @@
+//! Minimal API-compatible shim for the `proptest` crate (offline build environment).
+//!
+//! Implements the property-testing surface used by this workspace: the [`Strategy`]
+//! trait over integer ranges, tuples, [`Just`], `prop_map`, [`prop_oneof!`],
+//! [`collection::vec`], [`any`], the [`proptest!`] macro, and the `prop_assert*`
+//! macros. Cases are generated from per-case deterministic seeds; there is **no
+//! shrinking** — a failing case reports its seed and input instead.
+
+#![warn(missing_docs)]
+
+pub use crate::strategy::{Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Strategy combinators and implementations.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{One, Rng, SampleUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a strategy simply
+    /// draws a value from a deterministic RNG.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Returns a strategy producing `f(value)` for every generated `value`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies with the same value type
+    /// (the expansion of [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms`; each draw picks one arm uniformly.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform + PartialOrd + One + std::ops::Sub<Output = T> + 'static,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: SampleUniform + PartialOrd + 'static,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy generating a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for `Vec`s of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Values generatable without an explicit strategy, via [`any`].
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value of this type.
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> Self {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Strategy yielding arbitrary values of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the canonical strategy for arbitrary values of `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary_with(rng)
+    }
+}
+
+/// Test-runner configuration and errors.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+
+    /// Subset of proptest's run configuration honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+        /// Accepted for compatibility; the shim never shrinks.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; the shim never rejects inputs.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 0 }
+        }
+    }
+
+    /// Failure raised by the `prop_assert*` macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic per-case RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// RNG for the `case`-th test case of a property run.
+        pub fn for_case(case: u32) -> Self {
+            TestRng(StdRng::seed_from_u64(0x9E37_79B9_0000_0000 ^ case as u64))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // The stringified condition is passed as an argument, not spliced into the format
+        // string: conditions containing braces (`matches!`, struct patterns) would
+        // otherwise be misread as format specs.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            left,
+            right,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// Declares property tests: each `fn` runs `config.cases` times over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        #[test]
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut case_rng = $crate::test_runner::TestRng::for_case(case);
+                    $( let $pat = $crate::strategy::Strategy::generate(&($strat), &mut case_rng); )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        let strat = (0..10u64, 5..=6u64).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((5..16).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::test_runner::TestRng::for_case(2);
+        let strat = crate::collection::vec(0..5u8, 2..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_inputs(xs in crate::collection::vec(1..100u32, 1..20), flag in any::<bool>()) {
+            prop_assert!(!xs.is_empty());
+            let sum: u32 = xs.iter().sum();
+            prop_assert!(sum >= xs.len() as u32, "elements start at 1");
+            prop_assert!(usize::from(flag) <= 1);
+            // Braces in the condition must not be misread as format specs.
+            prop_assert!(matches!(xs.first(), Some(&v) if v >= 1));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_defaults_to_256_cases(x in 0..3u8) {
+            prop_assert!(x < 3);
+        }
+    }
+}
