@@ -1,11 +1,14 @@
 //! Ablation of the §5 optimizations: the indirect `VersionedCas` versus the recorded-once
 //! direct representation (version metadata embedded in the nodes, Fig. 9), plus the cost of
-//! leaving rarely-queried fields unversioned.
+//! leaving rarely-queried fields unversioned — and the structure-level version of the same
+//! question: what does versioning the hash map's bucket pointers cost its point operations
+//! (versioned vs the direct/unversioned table)?
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use vcas_core::{Camera, DirectVersionedPtr, VersionInfo, VersionedNode, VersionedPtr};
 use vcas_ebr::{pin, Owned};
+use vcas_structures::VcasHashMap;
 
 struct DirectNode {
     _payload: u64,
@@ -70,9 +73,43 @@ fn bench_indirect_vs_direct(c: &mut Criterion) {
     group.finish();
 }
 
+/// Versioning overhead at the structure level: identical hash-map workloads against the
+/// vCAS table and its unversioned twin. The delta is the whole-structure price of keeping
+/// version lists on the bucket pointers (the paper's Fig. 2m question, asked of the map).
+fn bench_hashmap_versioning_overhead(c: &mut Criterion) {
+    const SIZE: u64 = 4_096;
+    let mut group = c.benchmark_group("hashmap_versioning_ablation");
+    for versioned in [false, true] {
+        let label = if versioned { "versioned" } else { "direct" };
+        let buckets = VcasHashMap::buckets_for(SIZE, 0.75);
+        let map = if versioned {
+            VcasHashMap::new_versioned(&Camera::new(), buckets)
+        } else {
+            VcasHashMap::new_plain(buckets)
+        };
+        for k in 0..SIZE {
+            map.insert((k * 2654435761) % (4 * SIZE), k);
+        }
+        let mut key = 1u64;
+        group.bench_with_input(BenchmarkId::new("insert_remove", label), &(), |b, _| {
+            b.iter(|| {
+                key = (key * 6364136223846793005).wrapping_add(1) % (8 * SIZE);
+                if !map.insert(key, key) {
+                    map.remove(key);
+                }
+            })
+        });
+        let keys: Vec<u64> = (0..16u64).map(|i| (i * 7919) % (4 * SIZE)).collect();
+        group.bench_with_input(BenchmarkId::new("multi_get16", label), &keys, |b, keys| {
+            b.iter(|| std::hint::black_box(map.multi_get(keys)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_indirect_vs_direct
+    targets = bench_indirect_vs_direct, bench_hashmap_versioning_overhead
 }
 criterion_main!(ablation);

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use vcas_core::Camera;
-use vcas_structures::{HarrisList, MsQueue, Nbbst};
+use vcas_structures::{HarrisList, MsQueue, Nbbst, VcasHashMap};
 
 const PREFILL: u64 = 10_000;
 
@@ -79,9 +79,63 @@ fn bench_list_and_queue(c: &mut Criterion) {
     group.finish();
 }
 
+fn prefilled_hashmap(versioned: bool) -> VcasHashMap {
+    let buckets = VcasHashMap::buckets_for(PREFILL, 0.75);
+    let map = if versioned {
+        VcasHashMap::new_versioned(&Camera::new(), buckets)
+    } else {
+        VcasHashMap::new_plain(buckets)
+    };
+    for k in 0..PREFILL {
+        map.insert((k * 2654435761) % (4 * PREFILL), k);
+    }
+    map
+}
+
+fn bench_hashmap_point_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashmap_point_ops");
+    for versioned in [false, true] {
+        let label = if versioned { "VcasHashMap" } else { "HashMap" };
+        let map = prefilled_hashmap(versioned);
+        let mut key = 1u64;
+        group.bench_with_input(BenchmarkId::new("insert_remove", label), &(), |b, _| {
+            b.iter(|| {
+                key = (key * 6364136223846793005).wrapping_add(1) % (8 * PREFILL);
+                if !map.insert(key, key) {
+                    map.remove(key);
+                }
+            })
+        });
+        let mut probe = 0u64;
+        group.bench_with_input(BenchmarkId::new("get", label), &(), |b, _| {
+            b.iter(|| {
+                probe = (probe + 7919) % (4 * PREFILL);
+                std::hint::black_box(map.get(probe));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashmap_snapshot_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashmap_snapshot_queries");
+    let map = prefilled_hashmap(true);
+    for batch in [4usize, 16, 64] {
+        let keys: Vec<u64> = (0..batch as u64).map(|i| (i * 7919) % (4 * PREFILL)).collect();
+        group.bench_with_input(BenchmarkId::new("multi_get", batch), &keys, |b, keys| {
+            b.iter(|| std::hint::black_box(map.multi_get(keys)))
+        });
+    }
+    group.bench_function("snapshot_iter_full", |b| {
+        b.iter(|| std::hint::black_box(map.snapshot_iter().count()))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = structures;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_bst_point_ops, bench_bst_range_queries, bench_list_and_queue
+    targets = bench_bst_point_ops, bench_bst_range_queries, bench_list_and_queue,
+        bench_hashmap_point_ops, bench_hashmap_snapshot_queries
 }
 criterion_main!(structures);

@@ -4,10 +4,13 @@ use std::sync::Arc;
 
 use vcas_core::Camera;
 use vcas_ebr::pin;
-use vcas_structures::queries::{run_query, QueryKind};
-use vcas_structures::traits::AtomicRangeMap;
-use vcas_structures::{DcBst, HarrisList, LockBst, MsQueue, Nbbst};
-use vcas_workload::{run_dedicated, run_mixed, run_sorted_insert, Mix, WorkloadSpec};
+use vcas_structures::queries::{run_hash_query, run_query, HashQueryKind, QueryKind};
+use vcas_structures::traits::{AtomicRangeMap, SnapshotMap};
+use vcas_structures::{DcBst, HarrisList, LockBst, LockHashMap, MsQueue, Nbbst, VcasHashMap};
+use vcas_workload::{
+    run_dedicated, run_hashmap, run_mixed, run_sorted_insert, HashMapScenario, KeySkew, Mix,
+    WorkloadSpec,
+};
 
 /// Sizing and duration knobs (see crate docs for the environment variables).
 #[derive(Debug, Clone)]
@@ -240,6 +243,110 @@ fn fig3(cfg: &ExperimentConfig) {
     println!();
 }
 
+/// Names of the hash-map contenders (shared with the bench smoke mode).
+pub(crate) const HASHMAP_CONTENDERS: [&str; 3] = ["VcasHashMap", "HashMap(plain)", "LockHashMap"];
+
+/// Builds a fresh hash-map contender by name, sized to `buckets` buckets.
+pub(crate) fn fresh_hashmap(name: &str, buckets: usize) -> Arc<dyn SnapshotMap> {
+    match name {
+        "VcasHashMap" => Arc::new(VcasHashMap::new_versioned(&Camera::new(), buckets)),
+        "HashMap(plain)" => Arc::new(VcasHashMap::new_plain(buckets)),
+        "LockHashMap" => Arc::new(LockHashMap::new()),
+        other => panic!("unknown hash map {other}"),
+    }
+}
+
+/// Times `kind` against `map` for `window`, cycling the anchor through the 1-based key
+/// universe `[1, key_range]`; returns queries per second. Shared by the `hashmap`
+/// experiment and the bench smoke so the two report the same measurement.
+pub(crate) fn timed_query_qps(
+    map: &dyn SnapshotMap,
+    kind: HashQueryKind,
+    key_range: u64,
+    window: std::time::Duration,
+) -> f64 {
+    let start = std::time::Instant::now();
+    let mut queries = 0u64;
+    let mut anchor = 1u64;
+    while start.elapsed() < window {
+        anchor = anchor % key_range + 1;
+        std::hint::black_box(run_hash_query(map, kind, anchor, key_range));
+        queries += 1;
+    }
+    queries as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The `hashmap` experiment: thread scalability of the mixed workload (with `multi_get`
+/// batches in the range slot) under uniform and skewed keys, then multi-point query
+/// throughput against one concurrent updater — VcasHashMap vs the unversioned table
+/// (non-atomic multi-point reads) vs the lock-based baseline.
+fn hashmap_experiment(cfg: &ExperimentConfig) {
+    let scenario = HashMapScenario::default();
+    let mix = Mix { insert: 30, delete: 20, range: 10 };
+    let size = cfg.small_size;
+    let buckets = scenario.bucket_count(size);
+
+    for skew in [KeySkew::Uniform, KeySkew::Skewed { exponent: 2.0 }] {
+        println!(
+            "# hashmap: mix={} size={size} buckets={buckets} batch={} skew={}",
+            mix.label(),
+            scenario.multi_get_batch,
+            skew.label()
+        );
+        println!("{}", header_row(cfg));
+        for name in HASHMAP_CONTENDERS {
+            let mut row = vec![name.to_string()];
+            for &threads in &cfg.threads {
+                let fresh = fresh_hashmap(name, buckets);
+                let mut spec = WorkloadSpec::new(threads, size, mix).with_skew(skew);
+                spec.duration_ms = cfg.duration_ms;
+                let tput = run_hashmap(fresh, &spec, &scenario);
+                row.push(format!("{:.3}", tput.mops()));
+            }
+            println!("{}", row.join("\t"));
+        }
+        println!();
+    }
+
+    println!("# hashmap-queries: snapshot multi-point queries with 1 concurrent updater");
+    println!("query\tstructure\tqueries_per_sec");
+    for kind in HashQueryKind::all() {
+        for name in HASHMAP_CONTENDERS {
+            let map = fresh_hashmap(name, buckets);
+            let spec = WorkloadSpec::new(1, size, mix);
+            for k in 1..=size {
+                map.insert(k, k);
+            }
+            let key_range = spec.key_range();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let updater = {
+                let map = map.clone();
+                let stop = stop.clone();
+                let seed = spec.seed;
+                std::thread::spawn(move || {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let k = rng.gen_range(1..=key_range);
+                        if rng.gen_bool(0.5) {
+                            map.insert(k, k);
+                        } else {
+                            map.remove(k);
+                        }
+                    }
+                })
+            };
+            let window = std::time::Duration::from_millis(cfg.duration_ms);
+            let qps = timed_query_qps(map.as_ref(), kind, key_range, window);
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            updater.join().unwrap();
+            println!("{}\t{name}\t{qps:.1}", kind.label());
+            vcas_ebr::flush();
+        }
+    }
+    println!();
+}
+
 fn table1(cfg: &ExperimentConfig) {
     println!("# table1: query cost scaling (time per query vs parameter), validating the");
     println!("# asymptotic bounds of Table 1 — each row should grow roughly linearly in its");
@@ -424,12 +531,13 @@ pub fn run_experiment(id: &str, cfg: &ExperimentConfig) {
         "fig2k" => rqsize_sweep(cfg, "fig2k [C++ counterpart]", &["VcasBST", "DcBST"], false),
         "fig2m" => fig2m(cfg),
         "fig3" => fig3(cfg),
+        "hashmap" => hashmap_experiment(cfg),
         "table1" => table1(cfg),
         "ablation" => ablation(cfg),
         "all" => {
             for id in [
                 "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f", "fig2g", "fig2h", "fig2i",
-                "fig2j", "fig2k", "fig2m", "fig3", "table1", "ablation",
+                "fig2j", "fig2k", "fig2m", "fig3", "hashmap", "table1", "ablation",
             ] {
                 run_experiment(id, cfg);
             }

@@ -1,14 +1,20 @@
 //! # vcas-bench — benchmark harness regenerating the paper's tables and figures
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! * `cargo run -p vcas-bench --release --bin figures -- <experiment>` — regenerates the data
-//!   series behind every figure and table of the paper's evaluation (§7). `<experiment>` is
-//!   one of `fig2a`–`fig2m`, `fig3`, `fig2i`, `table1`, `ablation`, or `all`. Output is TSV
-//!   on stdout; EXPERIMENTS.md records a reference run and compares it with the paper.
+//!   series behind every figure and table of the paper's evaluation (§7), plus the
+//!   `hashmap` scenario added by this reproduction. `<experiment>` is one of
+//!   `fig2a`–`fig2m`, `fig3`, `fig2i`, `hashmap`, `table1`, `ablation`, or `all`. Output is
+//!   TSV on stdout; EXPERIMENTS.md records a reference run and compares it with the paper.
+//! * `cargo run -p vcas-bench --release --bin figures -- --quick [--out BENCH_smoke.json]`
+//!   — the seconds-long, single-threaded smoke pass ([`smoke`]) CI runs on every PR,
+//!   archiving `BENCH_smoke.json` as the per-PR perf trajectory (see
+//!   `docs/benchmarking.md`).
 //! * `cargo bench -p vcas-bench` — Criterion micro-benchmarks backing the constant-time /
-//!   proportional-time claims of §3 (`benches/micro.rs`), the §5 indirection ablation
-//!   (`benches/ablation.rs`), and per-structure operation costs (`benches/structures.rs`).
+//!   proportional-time claims of §3 (`benches/micro.rs`), the §5 indirection ablation and
+//!   the hash-map versioning ablation (`benches/ablation.rs`), and per-structure operation
+//!   costs (`benches/structures.rs`).
 //!
 //! Environment variables understood by the `figures` binary (all optional):
 //!
@@ -21,5 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod smoke;
 
 pub use experiments::{run_experiment, ExperimentConfig};
+pub use smoke::{run_quick, SmokeConfig, SmokeRow};

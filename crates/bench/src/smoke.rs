@@ -1,0 +1,204 @@
+//! Quick-mode bench smoke: a seconds-long, single-threaded pass over the main workload
+//! scenarios, emitting machine-readable JSON so CI can archive one perf data point per PR.
+//!
+//! This is **not** a benchmark — one thread for tens of milliseconds per scenario on a
+//! shared CI runner measures almost nothing about absolute performance. What it buys:
+//!
+//! * every scenario (mixed ordered-map workloads, the hash-map scenario, snapshot
+//!   queries) is *executed*, not just compiled, on every PR;
+//! * the `BENCH_smoke.json` artifacts accumulate into a per-PR perf trajectory that is
+//!   coarse but cheap, and catches order-of-magnitude regressions immediately.
+//!
+//! Invoked as `figures --quick [--out BENCH_smoke.json]`; see `docs/benchmarking.md`.
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+use vcas_core::Camera;
+use vcas_structures::queries::HashQueryKind;
+use vcas_structures::traits::AtomicRangeMap;
+use vcas_structures::{DcBst, HarrisList, LockBst, Nbbst};
+use vcas_workload::{run_hashmap, run_mixed, HashMapScenario, KeySkew, Mix, WorkloadSpec};
+
+use crate::experiments::{fresh_hashmap, HASHMAP_CONTENDERS};
+
+/// One smoke data point: a scenario/structure pair and its measured throughput.
+#[derive(Debug, Clone)]
+pub struct SmokeRow {
+    /// `scenario/structure` identifier, e.g. `mixed-update-heavy/VcasBST`.
+    pub id: String,
+    /// Millions of operations (or queries) per second.
+    pub mops: f64,
+}
+
+/// Parameters of a smoke run. Defaults are sized for seconds of total wall clock.
+#[derive(Debug, Clone)]
+pub struct SmokeConfig {
+    /// Timed window per data point, milliseconds.
+    pub duration_ms: u64,
+    /// Structure size each scenario prefills to.
+    pub size: u64,
+    /// Worker thread count (1 in CI: the runners are small and the point is execution
+    /// coverage plus a trend line, not scalability).
+    pub threads: usize,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> Self {
+        SmokeConfig { duration_ms: 60, size: 2_000, threads: 1 }
+    }
+}
+
+fn spec(cfg: &SmokeConfig, mix: Mix) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new(cfg.threads, cfg.size, mix);
+    spec.duration_ms = cfg.duration_ms;
+    spec.range_size = 64;
+    spec
+}
+
+/// Runs the smoke scenarios and returns one row per scenario/structure pair.
+pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
+    let mut rows = Vec::new();
+
+    // Ordered structures under the paper's update-heavy mix (plus a range-query mix for
+    // the snapshot path): one data point per structure.
+    let ordered: Vec<(&str, Arc<dyn AtomicRangeMap>)> = vec![
+        ("VcasBST", Arc::new(Nbbst::new_versioned(&Camera::new()))),
+        ("BST", Arc::new(Nbbst::new_plain())),
+        ("VcasList", Arc::new(HarrisList::new_versioned_default())),
+        ("DcBST", Arc::new(DcBst::new())),
+        ("LockBST", Arc::new(LockBst::new())),
+    ];
+    for (name, map) in ordered {
+        let t = run_mixed(map, &spec(cfg, Mix::update_heavy()));
+        rows.push(SmokeRow { id: format!("mixed-update-heavy/{name}"), mops: t.mops() });
+    }
+    let rq: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned(&Camera::new()));
+    let t = run_mixed(rq, &spec(cfg, Mix::update_heavy_with_rq()));
+    rows.push(SmokeRow { id: "mixed-update-heavy-rq/VcasBST".to_string(), mops: t.mops() });
+
+    // The hash-map scenario, uniform and skewed, for every contender.
+    let scenario = HashMapScenario::default();
+    let buckets = scenario.bucket_count(cfg.size);
+    let mix = Mix { insert: 30, delete: 20, range: 10 };
+    for (skew, tag) in
+        [(KeySkew::Uniform, "hashmap"), (KeySkew::Skewed { exponent: 2.0 }, "hashmap-skew")]
+    {
+        for name in HASHMAP_CONTENDERS {
+            let map = fresh_hashmap(name, buckets);
+            let t = run_hashmap(map, &spec(cfg, mix).with_skew(skew), &scenario);
+            rows.push(SmokeRow { id: format!("{tag}/{name}"), mops: t.mops() });
+        }
+    }
+
+    // Snapshot query rate on a prefilled versioned hash map (no updaters: this tracks the
+    // query path's cost, the scenarios above already exercise it under contention).
+    let map = fresh_hashmap("VcasHashMap", buckets);
+    for k in 1..=cfg.size {
+        map.insert(k, k);
+    }
+    for kind in [HashQueryKind::MultiGet16, HashQueryKind::ScanAll] {
+        let window = std::time::Duration::from_millis(cfg.duration_ms);
+        let qps = crate::experiments::timed_query_qps(map.as_ref(), kind, cfg.size, window);
+        rows.push(SmokeRow { id: format!("query-{}/VcasHashMap", kind.label()), mops: qps / 1e6 });
+    }
+
+    rows
+}
+
+/// Serializes smoke results as JSON (hand-rolled: the workspace intentionally has no
+/// serde). Schema: `{"schema_version":1,"mode":"quick",...,"results":[{"id","mops"},..]}`.
+pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"mode\": \"quick\",\n");
+    out.push_str(&format!("  \"unix_time\": {unix_secs},\n"));
+    out.push_str(&format!("  \"duration_ms\": {},\n", cfg.duration_ms));
+    out.push_str(&format!("  \"size\": {},\n", cfg.size));
+    out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
+    out.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mops\": {:.6}}}{comma}\n",
+            escape_json(&row.id),
+            row.mops
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Runs the smoke suite, prints a TSV summary to stdout, and writes the JSON report to
+/// `out_path`.
+pub fn run_quick(cfg: &SmokeConfig, out_path: &std::path::Path) -> std::io::Result<()> {
+    eprintln!(
+        "# bench smoke: duration={}ms size={} threads={} -> {}",
+        cfg.duration_ms,
+        cfg.size,
+        cfg.threads,
+        out_path.display()
+    );
+    let rows = run_smoke(cfg);
+    println!("scenario/structure\tMops");
+    for row in &rows {
+        println!("{}\t{:.4}", row.id, row.mops);
+    }
+    let mut file = std::fs::File::create(out_path)?;
+    file.write_all(to_json(cfg, &rows).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SmokeConfig {
+        SmokeConfig { duration_ms: 5, size: 64, threads: 1 }
+    }
+
+    #[test]
+    fn smoke_produces_a_row_per_scenario() {
+        let rows = run_smoke(&tiny());
+        // 6 ordered + 6 hashmap (2 skews x 3 contenders) + 2 query rows.
+        assert_eq!(rows.len(), 14);
+        let ids: std::collections::HashSet<_> = rows.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids.len(), rows.len(), "duplicate smoke ids");
+        for row in &rows {
+            assert!(row.mops > 0.0, "{} reported zero throughput", row.id);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cfg = tiny();
+        let rows = vec![
+            SmokeRow { id: "a/b".to_string(), mops: 1.25 },
+            SmokeRow { id: "c\"d\\e".to_string(), mops: 0.5 },
+        ];
+        let json = to_json(&cfg, &rows);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("{\"id\": \"a/b\", \"mops\": 1.250000}"));
+        assert!(json.contains("c\\\"d\\\\e"));
+        // Balanced braces/brackets (cheap structural check without a JSON parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -68,7 +68,7 @@ pub struct DomainStats {
 
 /// An epoch-based reclamation domain.
 ///
-/// A domain owns a global epoch counter, a registry of per-thread [`Participant`]s, and a
+/// A domain owns a global epoch counter, a registry of per-thread participants, and a
 /// queue of deferred destructors tagged with the epoch at which they were retired. Data
 /// structures that share a domain amortize its bookkeeping; the workspace default is the
 /// process-wide domain returned by [`crate::default_domain`].

@@ -17,10 +17,12 @@
 //! * The **non-atomic** baseline used as the normalizer in Fig. 3 is
 //!   [`crate::bst::Nbbst::range_query_non_atomic`] and friends on the plain tree.
 
+use std::collections::HashMap as StdHashMap;
+
 use parking_lot::RwLock;
 
 use crate::bst::Nbbst;
-use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, Value};
+use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, SnapshotMap, Value};
 
 /// Double-collect (validate and retry) range queries on the plain NBBST.
 pub struct DcBst {
@@ -161,6 +163,104 @@ impl AtomicRangeMap for LockBst {
     }
 }
 
+/// Reader-writer-locked `std::collections::HashMap`: the baseline comparator for the vCAS
+/// hash map. Point reads share the lock, updates take it exclusively, and multi-point
+/// queries hold the read lock across the whole batch — trivially atomic, but every update
+/// serializes behind the lock, which is exactly the scalability shape the lock-free table
+/// is measured against.
+pub struct LockHashMap {
+    inner: RwLock<StdHashMap<Key, Value>>,
+}
+
+impl LockHashMap {
+    /// Creates an empty map.
+    pub fn new() -> LockHashMap {
+        LockHashMap { inner: RwLock::new(StdHashMap::new()) }
+    }
+}
+
+impl Default for LockHashMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentMap for LockHashMap {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        let mut inner = self.inner.write();
+        // Match the lock-free structures: a duplicate insert fails and keeps the old value.
+        match inner.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value);
+                true
+            }
+        }
+    }
+    fn remove(&self, key: Key) -> bool {
+        self.inner.write().remove(&key).is_some()
+    }
+    fn contains(&self, key: Key) -> bool {
+        self.inner.read().contains_key(&key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        self.inner.read().get(&key).copied()
+    }
+    fn name(&self) -> &'static str {
+        "LockHashMap"
+    }
+}
+
+impl SnapshotMap for LockHashMap {
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        let inner = self.inner.read();
+        keys.iter().map(|k| inner.get(k).copied()).collect()
+    }
+    fn snapshot_iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        // Copy out under the read lock; the copy *is* the snapshot.
+        let pairs: Vec<(Key, Value)> = self.inner.read().iter().map(|(&k, &v)| (k, v)).collect();
+        Box::new(pairs.into_iter())
+    }
+    fn snapshot_len(&self) -> usize {
+        self.inner.read().len()
+    }
+}
+
+impl AtomicRangeMap for LockHashMap {
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let mut out: Vec<(Key, Value)> = self
+            .inner
+            .read()
+            .iter()
+            .filter(|(k, _)| (lo..=hi).contains(*k))
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let mut out: Vec<(Key, Value)> =
+            self.inner.read().iter().filter(|(k, _)| **k > key).map(|(&k, &v)| (k, v)).collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out.truncate(count);
+        out
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if lo >= hi {
+            return None;
+        }
+        self.inner
+            .read()
+            .iter()
+            .filter(|(k, _)| (lo..hi).contains(*k) && pred(**k))
+            .map(|(&k, &v)| (k, v))
+            .min_by_key(|(k, _)| *k)
+    }
+    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.multi_get(keys)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +286,24 @@ mod tests {
     #[test]
     fn lockbst_basic_semantics() {
         exercise(&LockBst::new());
+    }
+
+    #[test]
+    fn lockhashmap_basic_semantics() {
+        exercise(&LockHashMap::new());
+    }
+
+    #[test]
+    fn lockhashmap_snapshot_queries() {
+        let map = LockHashMap::new();
+        for k in 0..10u64 {
+            map.insert(k, k * 10);
+        }
+        assert_eq!(map.multi_get(&[0, 9, 10]), vec![Some(0), Some(90), None]);
+        assert_eq!(map.snapshot_len(), 10);
+        let mut scanned: Vec<Key> = map.snapshot_iter().map(|(k, _)| k).collect();
+        scanned.sort_unstable();
+        assert_eq!(scanned, (0..10u64).collect::<Vec<_>>());
     }
 
     #[test]

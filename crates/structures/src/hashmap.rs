@@ -1,0 +1,359 @@
+//! A lock-free open-bucket hash table with constant-time snapshots.
+//!
+//! The table is a fixed, power-of-two array of buckets; each bucket is a
+//! [`HarrisList`] holding the keys that hash to it. In versioned mode every bucket's
+//! `next` pointers are vCAS objects and **all buckets share one camera**, so a
+//! multi-point query takes a *single* [`Camera::take_snapshot`] and reads every bucket
+//! at that handle: [`VcasHashMap::multi_get`] and [`VcasHashMap::snapshot_iter`] observe
+//! one timestamp across the whole table, exactly as the paper's recipe prescribes
+//! (version the pointers whose values determine the abstract state, then snapshot the
+//! camera they are registered with).
+//!
+//! Point operations delegate to the bucket list and keep its lock-freedom and expected
+//! O(1 + load-factor) cost. The table does not resize; choose the bucket count from the
+//! expected size and target load factor via [`VcasHashMap::buckets_for`] (the workload
+//! harness's `hashmap` scenario does exactly that).
+
+use std::sync::Arc;
+
+use vcas_core::{Camera, SnapshotHandle};
+
+use crate::list::HarrisList;
+use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, SnapshotMap, Value};
+
+/// Fibonacci multiplicative hashing constant (2^64 / phi), the usual odd multiplier.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+enum MapMode {
+    /// Unversioned buckets: point ops only; multi-point reads are *non-atomic* (the
+    /// weakly-consistent baseline, analogous to `range_query_non_atomic` on the BST).
+    Plain,
+    /// vCAS-versioned buckets sharing this camera: multi-point reads are atomic.
+    Versioned(Arc<Camera>),
+}
+
+/// Lock-free open-bucket hash map, in plain and versioned (snapshot-capable) modes
+/// (see module docs).
+pub struct VcasHashMap {
+    /// Power-of-two bucket array; `mask == buckets.len() - 1`.
+    buckets: Box<[HarrisList]>,
+    mask: u64,
+    mode: MapMode,
+    label: &'static str,
+}
+
+impl VcasHashMap {
+    fn with_mode(mode: MapMode, buckets: usize, label: &'static str) -> VcasHashMap {
+        let n = buckets.max(1).next_power_of_two();
+        let buckets: Box<[HarrisList]> = (0..n)
+            .map(|_| match &mode {
+                MapMode::Plain => HarrisList::new_plain(),
+                MapMode::Versioned(camera) => HarrisList::new_versioned(camera),
+            })
+            .collect();
+        VcasHashMap { buckets, mask: (n - 1) as u64, mode, label }
+    }
+
+    /// The unversioned table (`HashMap` in benchmark output): lock-free point ops, but
+    /// `multi_get` / `snapshot_iter` are non-atomic. Rounds `buckets` up to a power of two.
+    pub fn new_plain(buckets: usize) -> VcasHashMap {
+        Self::with_mode(MapMode::Plain, buckets, "HashMap")
+    }
+
+    /// The snapshot-capable table (`VcasHashMap`): bucket pointers are versioned CAS
+    /// objects registered with `camera`. Rounds `buckets` up to a power of two.
+    pub fn new_versioned(camera: &Arc<Camera>, buckets: usize) -> VcasHashMap {
+        Self::with_mode(MapMode::Versioned(camera.clone()), buckets, "VcasHashMap")
+    }
+
+    /// A snapshot-capable table with a private camera and a default bucket count (256).
+    pub fn new_versioned_default() -> VcasHashMap {
+        Self::new_versioned(&Camera::new(), 256)
+    }
+
+    /// Bucket count for holding `capacity` keys at `load_factor` keys per bucket,
+    /// rounded up to a power of two. `load_factor` at or below zero is treated as 1.0.
+    pub fn buckets_for(capacity: u64, load_factor: f64) -> usize {
+        let lf = if load_factor > 0.0 { load_factor } else { 1.0 };
+        (((capacity as f64 / lf).ceil() as usize).max(1)).next_power_of_two()
+    }
+
+    /// The camera associated with a versioned table.
+    pub fn camera(&self) -> Option<&Arc<Camera>> {
+        match &self.mode {
+            MapMode::Plain => None,
+            MapMode::Versioned(c) => Some(c),
+        }
+    }
+
+    /// Number of buckets (always a power of two).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_of(&self, key: Key) -> &HarrisList {
+        // Multiplicative hash, taking high bits so nearby keys spread across buckets.
+        let h = key.wrapping_mul(HASH_MUL);
+        &self.buckets[((h >> 32) & self.mask) as usize]
+    }
+
+    /// One snapshot handle covering every bucket, or `None` in plain mode.
+    fn query_handle(&self) -> Option<SnapshotHandle> {
+        match &self.mode {
+            MapMode::Plain => None,
+            MapMode::Versioned(camera) => Some(camera.take_snapshot()),
+        }
+    }
+
+    // ----- point operations --------------------------------------------------------------
+
+    /// Inserts `key` with `value`; returns `false` if the key was already present.
+    pub fn insert(&self, key: Key, value: Value) -> bool {
+        self.bucket_of(key).insert(key, value)
+    }
+
+    /// Removes `key`; returns `false` if it was not present.
+    pub fn remove(&self, key: Key) -> bool {
+        self.bucket_of(key).remove(key)
+    }
+
+    /// Returns the value associated with `key`, if any.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        self.bucket_of(key).get(key)
+    }
+
+    /// Does the map currently contain `key`?
+    pub fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    // ----- snapshot queries --------------------------------------------------------------
+
+    /// Looks up every key in `keys` against one snapshot: in versioned mode all lookups
+    /// observe the single timestamp taken at the start of the call (non-atomic in plain
+    /// mode, where each lookup reads the current state).
+    pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        let handle = self.query_handle();
+        keys.iter().map(|&k| self.bucket_of(k).get_at(handle, k)).collect()
+    }
+
+    /// Iterates over every `(key, value)` pair live at a single snapshot timestamp
+    /// (bucket order, key order within a bucket — not global key order). Buckets are
+    /// materialized lazily, one at a time, so memory stays proportional to the largest
+    /// bucket. Non-atomic in plain mode.
+    pub fn snapshot_iter(&self) -> SnapshotIter<'_> {
+        SnapshotIter {
+            map: self,
+            handle: self.query_handle(),
+            next_bucket: 0,
+            current: Vec::new().into_iter(),
+        }
+    }
+
+    /// Every live `(key, value)` pair at a single snapshot timestamp, sorted by key.
+    pub fn snapshot_scan(&self) -> Vec<(Key, Value)> {
+        let mut out: Vec<(Key, Value)> = self.snapshot_iter().collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Number of live keys (at a single timestamp in versioned mode).
+    pub fn len(&self) -> usize {
+        self.snapshot_iter().count()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lazy per-bucket iterator returned by [`VcasHashMap::snapshot_iter`]; all buckets are
+/// read at the one snapshot handle taken when the iterator was created.
+pub struct SnapshotIter<'a> {
+    map: &'a VcasHashMap,
+    handle: Option<SnapshotHandle>,
+    next_bucket: usize,
+    current: std::vec::IntoIter<(Key, Value)>,
+}
+
+impl Iterator for SnapshotIter<'_> {
+    type Item = (Key, Value);
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        loop {
+            if let Some(pair) = self.current.next() {
+                return Some(pair);
+            }
+            let bucket = self.map.buckets.get(self.next_bucket)?;
+            self.next_bucket += 1;
+            self.current = bucket.collect_at(self.handle).into_iter();
+        }
+    }
+}
+
+impl ConcurrentMap for VcasHashMap {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        VcasHashMap::insert(self, key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        VcasHashMap::remove(self, key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        VcasHashMap::contains(self, key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        VcasHashMap::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl SnapshotMap for VcasHashMap {
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        VcasHashMap::multi_get(self, keys)
+    }
+    fn snapshot_iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(VcasHashMap::snapshot_iter(self))
+    }
+}
+
+/// Ordered queries on a hash map scan the whole table (O(buckets + n)); they exist so the
+/// generic workload driver and query harness can drive the hash map, and they are atomic
+/// in versioned mode because the scan reads one snapshot.
+impl AtomicRangeMap for VcasHashMap {
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let mut out: Vec<(Key, Value)> =
+            self.snapshot_iter().filter(|(k, _)| (lo..=hi).contains(k)).collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let mut out: Vec<(Key, Value)> = self.snapshot_iter().filter(|(k, _)| *k > key).collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out.truncate(count);
+        out
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if lo >= hi {
+            return None;
+        }
+        // First match in key order, like the ordered structures.
+        self.snapshot_iter()
+            .filter(|(k, _)| (lo..hi).contains(k) && pred(*k))
+            .min_by_key(|(k, _)| *k)
+    }
+    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.multi_get(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as StdHashMap;
+
+    fn both_modes() -> Vec<VcasHashMap> {
+        vec![VcasHashMap::new_plain(8), VcasHashMap::new_versioned(&Camera::new(), 8)]
+    }
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        assert_eq!(VcasHashMap::new_plain(1).bucket_count(), 1);
+        assert_eq!(VcasHashMap::new_plain(3).bucket_count(), 4);
+        assert_eq!(VcasHashMap::new_plain(0).bucket_count(), 1);
+        assert_eq!(VcasHashMap::buckets_for(100, 0.5), 256);
+        assert_eq!(VcasHashMap::buckets_for(100, 4.0), 32);
+        assert_eq!(VcasHashMap::buckets_for(0, -1.0), 1);
+    }
+
+    #[test]
+    fn sequential_map_semantics() {
+        for map in both_modes() {
+            assert!(map.is_empty());
+            assert!(map.insert(3, 30));
+            assert!(map.insert(1, 10));
+            assert!(!map.insert(3, 99), "duplicate insert must fail and keep the old value");
+            assert_eq!(map.get(3), Some(30));
+            assert!(map.remove(3));
+            assert!(!map.remove(3));
+            assert_eq!(map.get(3), None);
+            assert_eq!(map.len(), 1);
+            assert_eq!(map.snapshot_scan(), vec![(1, 10)]);
+        }
+    }
+
+    #[test]
+    fn matches_model_on_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for map in both_modes() {
+            let mut model = StdHashMap::new();
+            for _ in 0..3000 {
+                let k = rng.gen_range(0..200u64);
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let v = rng.gen_range(0..1_000u64);
+                        let expected = !model.contains_key(&k);
+                        assert_eq!(map.insert(k, v), expected);
+                        model.entry(k).or_insert(v);
+                    }
+                    1 => assert_eq!(map.remove(k), model.remove(&k).is_some()),
+                    _ => assert_eq!(map.get(k), model.get(&k).copied()),
+                }
+            }
+            let mut expected: Vec<(Key, Value)> = model.into_iter().collect();
+            expected.sort_unstable_by_key(|(k, _)| *k);
+            assert_eq!(map.snapshot_scan(), expected);
+        }
+    }
+
+    #[test]
+    fn multi_get_matches_individual_gets_sequentially() {
+        for map in both_modes() {
+            for k in (0..100u64).step_by(2) {
+                map.insert(k, k * 3);
+            }
+            let keys: Vec<Key> = (0..20u64).collect();
+            let batched = map.multi_get(&keys);
+            let individual: Vec<Option<Value>> = keys.iter().map(|&k| map.get(k)).collect();
+            assert_eq!(batched, individual);
+        }
+    }
+
+    #[test]
+    fn snapshot_iter_is_atomic_under_ordered_inserts() {
+        let map = std::sync::Arc::new(VcasHashMap::new_versioned(&Camera::new(), 16));
+        let writer = {
+            let map = map.clone();
+            std::thread::spawn(move || {
+                for k in 0..1500u64 {
+                    map.insert(k, k);
+                }
+            })
+        };
+        for _ in 0..100 {
+            let mut keys: Vec<Key> = map.snapshot_iter().map(|(k, _)| k).collect();
+            keys.sort_unstable();
+            let expected: Vec<Key> = (0..keys.len() as u64).collect();
+            assert_eq!(keys, expected, "snapshot must observe a gap-free insertion prefix");
+        }
+        writer.join().unwrap();
+        assert_eq!(map.len(), 1500);
+    }
+
+    #[test]
+    fn range_interface_works_despite_hashing() {
+        for map in both_modes() {
+            for k in 0..64u64 {
+                map.insert(k, k + 1);
+            }
+            assert_eq!(map.range(10, 12), vec![(10, 11), (11, 12), (12, 13)]);
+            assert_eq!(map.successors(61, 5), vec![(62, 63), (63, 64)]);
+            assert_eq!(map.find_if(0, 64, &|k| k % 37 == 0 && k > 0), Some((37, 38)));
+            assert_eq!(map.multi_search(&[5, 500]), vec![Some(6), None]);
+            assert_eq!(map.find_if(5, 5, &|_| true), None);
+        }
+    }
+}

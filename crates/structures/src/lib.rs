@@ -12,21 +12,28 @@
 //!   atomic range queries, multi-searches and i-th element queries.
 //! * [`queue::MsQueue`] — the Michael–Scott queue, plain and versioned, with atomic scans,
 //!   i-th-element and peek-both-ends queries.
+//! * [`hashmap::VcasHashMap`] — a lock-free open-bucket hash table whose buckets are
+//!   vCAS-versioned Harris lists sharing one camera, giving snapshot-timestamped
+//!   `multi_get` and `snapshot_iter` (plus a plain unversioned mode for the ablation).
 //! * [`baselines`] — comparator structures for the evaluation: `DcBst` (double-collect /
 //!   validate-and-retry range queries, the KST / PNB-BST mechanism), `LockBst` (coarse
-//!   reader-writer locking for range queries, the SnapTree mechanism), and the non-atomic
+//!   reader-writer locking for range queries, the SnapTree mechanism), `LockHashMap`
+//!   (reader-writer-locked std hash map, the hash-table comparator), and the non-atomic
 //!   query mode available on every structure (the weakly-consistent-iterator baseline).
 //! * [`queries`] — the multi-point query set of the paper's Table 2 (`range`, `succ`,
-//!   `findif`, `multisearch`) expressed over any [`traits::AtomicRangeMap`].
+//!   `findif`, `multisearch`) expressed over any [`traits::AtomicRangeMap`], plus the
+//!   hash-map analogues (`multiget4/16`, `scanall`) over any [`traits::SnapshotMap`].
 //!
 //! All ordered structures implement [`traits::ConcurrentMap`] (point operations) and, where
 //! supported, [`traits::AtomicRangeMap`] (atomic multi-point queries), which is what the
-//! workload harness in `vcas-workload` drives.
+//! workload harness in `vcas-workload` drives; unordered structures expose their atomic
+//! batched reads through [`traits::SnapshotMap`].
 
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod bst;
+pub mod hashmap;
 pub mod list;
 pub mod queries;
 pub mod queue;
@@ -63,9 +70,10 @@ fn single_core() -> bool {
         .get_or_init(|| std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(false))
 }
 
-pub use baselines::{DcBst, LockBst};
+pub use baselines::{DcBst, LockBst, LockHashMap};
 pub use bst::Nbbst;
+pub use hashmap::VcasHashMap;
 pub use list::HarrisList;
-pub use queries::{run_query, QueryKind, QueryOutcome};
+pub use queries::{run_hash_query, run_query, HashQueryKind, QueryKind, QueryOutcome};
 pub use queue::MsQueue;
-pub use traits::{AtomicRangeMap, ConcurrentMap};
+pub use traits::{AtomicRangeMap, ConcurrentMap, SnapshotMap};

@@ -322,6 +322,49 @@ impl HarrisList {
         out
     }
 
+    // ----- bucket support (used by `crate::hashmap::VcasHashMap`) ------------------------
+    //
+    // A hash map's buckets all share one camera, so a cross-bucket query takes a *single*
+    // snapshot and reads every bucket at that handle; the per-query `view_for_query` above
+    // would instead give each bucket its own timestamp. `handle == None` reads the current
+    // state (the plain/non-atomic mode).
+
+    /// Collects every live `(key, value)` pair as of `handle` (or of the current state when
+    /// `handle` is `None`), in key order.
+    pub(crate) fn collect_at(&self, handle: Option<SnapshotHandle>) -> Vec<(Key, Value)> {
+        let view = match handle {
+            Some(h) => View::Snapshot(h),
+            None => View::Current,
+        };
+        let guard = pin();
+        let mut out = Vec::new();
+        self.walk(view, &guard, |k, v| {
+            out.push((k, v));
+            true
+        });
+        out
+    }
+
+    /// Looks up `key` as of `handle` (or of the current state when `handle` is `None`).
+    pub(crate) fn get_at(&self, handle: Option<SnapshotHandle>, key: Key) -> Option<Value> {
+        let view = match handle {
+            Some(h) => View::Snapshot(h),
+            None => View::Current,
+        };
+        let guard = pin();
+        let mut out = None;
+        self.walk(view, &guard, |k, v| {
+            if k >= key {
+                if k == key {
+                    out = Some(v);
+                }
+                return false;
+            }
+            true
+        });
+        out
+    }
+
     /// Atomic full scan of the list.
     pub fn scan(&self) -> Vec<(Key, Value)> {
         let view = self.view_for_query();

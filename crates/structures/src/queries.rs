@@ -1,7 +1,11 @@
 //! The multi-point query set of the paper's Table 2, expressed over any
 //! [`AtomicRangeMap`]. Figure 3 measures the throughput of exactly these queries.
+//!
+//! Unordered structures get their own query set ([`HashQueryKind`] over any
+//! [`SnapshotMap`]): atomic batched lookups and full-table scans, the hash-map analogues
+//! of Table 2's multisearch and full-scan rows.
 
-use crate::traits::{AtomicRangeMap, Key, Value};
+use crate::traits::{AtomicRangeMap, Key, SnapshotMap, Value};
 
 /// The query kinds of Table 2 with the parameters used in the paper's Figure 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -93,6 +97,69 @@ fn summarize_pairs(pairs: &[(Key, Value)]) -> QueryOutcome {
     QueryOutcome { observed: pairs.len(), key_sum: pairs.iter().map(|(k, _)| *k).sum() }
 }
 
+/// Multi-point queries for unordered snapshot maps (the hash-map analogue of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashQueryKind {
+    /// `multiget4`: look up 4 keys atomically.
+    MultiGet4,
+    /// `multiget16`: look up 16 keys atomically.
+    MultiGet16,
+    /// `scanall`: iterate the whole table at one timestamp.
+    ScanAll,
+}
+
+impl HashQueryKind {
+    /// Every hash-map query kind, in reporting order.
+    pub fn all() -> [HashQueryKind; 3] {
+        [HashQueryKind::MultiGet4, HashQueryKind::MultiGet16, HashQueryKind::ScanAll]
+    }
+
+    /// The label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HashQueryKind::MultiGet4 => "multiget4",
+            HashQueryKind::MultiGet16 => "multiget16",
+            HashQueryKind::ScanAll => "scanall",
+        }
+    }
+}
+
+/// Runs `kind` against `map`, anchored at `start`; `key_range` is the size of the key
+/// universe, used to spread a multi-get batch across it (so the batch touches distinct
+/// buckets rather than one).
+pub fn run_hash_query(
+    map: &dyn SnapshotMap,
+    kind: HashQueryKind,
+    start: Key,
+    key_range: Key,
+) -> QueryOutcome {
+    match kind {
+        HashQueryKind::MultiGet4 => run_multi_get(map, start, key_range, 4),
+        HashQueryKind::MultiGet16 => run_multi_get(map, start, key_range, 16),
+        HashQueryKind::ScanAll => {
+            let (mut observed, mut key_sum) = (0usize, 0u64);
+            for (k, _) in map.snapshot_iter() {
+                observed += 1;
+                key_sum = key_sum.wrapping_add(k);
+            }
+            QueryOutcome { observed, key_sum }
+        }
+    }
+}
+
+fn run_multi_get(map: &dyn SnapshotMap, start: Key, key_range: Key, batch: u64) -> QueryOutcome {
+    let stride = (key_range / batch).max(1);
+    // Keys land in the workload's 1-based universe [1, key_range].
+    let keys: Vec<Key> = (0..batch)
+        .map(|i| start.wrapping_add(i * stride).wrapping_sub(1) % key_range.max(1) + 1)
+        .collect();
+    let results = map.multi_get(&keys);
+    QueryOutcome {
+        observed: results.iter().filter(|r| r.is_some()).count(),
+        key_sum: results.iter().flatten().sum(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +188,28 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             QueryKind::all().iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 5);
+        let hash_labels: std::collections::HashSet<_> =
+            HashQueryKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(hash_labels.len(), 3);
+    }
+
+    #[test]
+    fn hash_queries_run_against_a_populated_map() {
+        let map = crate::hashmap::VcasHashMap::new_versioned_default();
+        // The workload key universe is 1-based: [1, key_range].
+        for k in 1..=1024u64 {
+            map.insert(k, k);
+        }
+        for kind in HashQueryKind::all() {
+            let out = run_hash_query(&map, kind, 100, 1024);
+            assert!(out.observed > 0, "{} found nothing", kind.label());
+        }
+        // With every key in [1, 1024] present, each batched lookup hits — including at the
+        // anchor edges (start 0 and start == key_range wrap back into the universe).
+        for start in [0u64, 1, 7, 1024] {
+            assert_eq!(run_hash_query(&map, HashQueryKind::MultiGet4, start, 1024).observed, 4);
+            assert_eq!(run_hash_query(&map, HashQueryKind::MultiGet16, start, 1024).observed, 16);
+        }
+        assert_eq!(run_hash_query(&map, HashQueryKind::ScanAll, 0, 1024).observed, 1024);
     }
 }

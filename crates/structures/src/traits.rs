@@ -20,6 +20,33 @@ pub trait ConcurrentMap: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+/// A concurrent (not necessarily ordered) map whose multi-point reads are anchored to a
+/// single snapshot timestamp: every key examined by one call observes the state as of one
+/// point during the call, with no torn reads.
+///
+/// This is the natural query interface for unordered structures such as the vCAS hash map,
+/// where "range" is meaningless but atomic batched lookups and full-table scans are not.
+///
+/// **Baseline escape hatch:** structures constructed in an explicitly *plain* / unversioned
+/// mode (e.g. [`crate::hashmap::VcasHashMap::new_plain`]) implement these methods with
+/// weakly-consistent reads instead — they are the evaluation's non-atomic comparators, and
+/// choosing the plain constructor is the opt-out. Every snapshot-capable constructor
+/// upholds the single-timestamp guarantee.
+pub trait SnapshotMap: ConcurrentMap {
+    /// Looks up every key in `keys` against one snapshot (all lookups observe the same
+    /// timestamp).
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>>;
+
+    /// Iterates over every `(key, value)` pair live at a single snapshot timestamp, in
+    /// unspecified order.
+    fn snapshot_iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_>;
+
+    /// Number of live keys at a single snapshot timestamp.
+    fn snapshot_len(&self) -> usize {
+        self.snapshot_iter().count()
+    }
+}
+
 /// A concurrent ordered map that additionally supports *atomic* multi-point queries
 /// (linearizable range queries and friends).
 pub trait AtomicRangeMap: ConcurrentMap {
@@ -48,6 +75,7 @@ mod tests {
     fn traits_are_object_safe() {
         fn _takes_map(_: &dyn ConcurrentMap) {}
         fn _takes_range_map(_: &dyn AtomicRangeMap) {}
+        fn _takes_snapshot_map(_: &dyn SnapshotMap) {}
     }
 
     #[test]

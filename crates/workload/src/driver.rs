@@ -7,9 +7,9 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vcas_structures::traits::{AtomicRangeMap, Key};
+use vcas_structures::traits::{AtomicRangeMap, Key, SnapshotMap};
 
-use crate::spec::WorkloadSpec;
+use crate::spec::{HashMapScenario, WorkloadSpec};
 
 /// Result of a timed run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,16 +42,33 @@ pub struct DedicatedResult {
 }
 
 /// Prefills `map` to `initial_size` distinct keys drawn uniformly from the key universe.
+/// (Uniform regardless of `spec.skew`: prefill's job is reaching the target size, which a
+/// heavily skewed draw would make quadratically slow.)
 pub fn prefill(map: &dyn AtomicRangeMap, spec: &WorkloadSpec) {
+    prefill_with(|k, v| map.insert(k, v), spec);
+}
+
+/// Prefill against any insert function (shared between the ordered-map and hash-map runs;
+/// `dyn AtomicRangeMap` cannot be passed where `dyn ConcurrentMap` is expected without
+/// trait upcasting, which our MSRV predates).
+fn prefill_with(mut insert: impl FnMut(Key, u64) -> bool, spec: &WorkloadSpec) {
     let key_range = spec.key_range();
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9E3779B97F4A7C15);
     let mut inserted = 0;
     while inserted < spec.initial_size {
         let k = rng.gen_range(1..=key_range);
-        if map.insert(k, k) {
+        if insert(k, k) {
             inserted += 1;
         }
     }
+}
+
+/// Joins a worker, converting a worker panic into one that names the spec's seed so the
+/// failing run can be reproduced.
+fn join_worker<T>(handle: std::thread::JoinHandle<T>, spec: &WorkloadSpec) -> T {
+    handle.join().unwrap_or_else(|_| {
+        panic!("workload worker thread panicked (reproduce with seed={:#x})", spec.seed)
+    })
 }
 
 /// Runs the paper's mixed workload (§7 "Workload"): every thread repeatedly draws an
@@ -73,7 +90,7 @@ pub fn run_mixed(map: Arc<dyn AtomicRangeMap>, spec: &WorkloadSpec) -> Throughpu
             let mut rng = StdRng::seed_from_u64(spec.seed + t as u64);
             let mut ops = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                let key = rng.gen_range(1..=key_range);
+                let key = spec.skew.sample(&mut rng, key_range);
                 let dice = rng.gen_range(0..100u32);
                 if dice < spec.mix.insert {
                     map.insert(key, key);
@@ -93,7 +110,64 @@ pub fn run_mixed(map: Arc<dyn AtomicRangeMap>, spec: &WorkloadSpec) -> Throughpu
     std::thread::sleep(Duration::from_millis(spec.duration_ms));
     stop.store(true, Ordering::Relaxed);
     for h in handles {
-        h.join().unwrap();
+        join_worker(h, spec);
+    }
+    let elapsed = start.elapsed();
+    vcas_ebr::flush();
+    Throughput { operations: total_ops.load(Ordering::Relaxed), elapsed }
+}
+
+/// Runs the `hashmap` scenario: the mixed workload of [`run_mixed`], but against a
+/// [`SnapshotMap`], with the range-query slot of the mix replaced by an atomic
+/// `multi_get` of `scenario.multi_get_batch` keys (each drawn from `spec.skew`, like
+/// every other operation key). Returns aggregate throughput.
+pub fn run_hashmap(
+    map: Arc<dyn SnapshotMap>,
+    spec: &WorkloadSpec,
+    scenario: &HashMapScenario,
+) -> Throughput {
+    prefill_with(|k, v| map.insert(k, v), spec);
+    let key_range = spec.key_range();
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..spec.threads {
+        let map = map.clone();
+        let stop = stop.clone();
+        let total_ops = total_ops.clone();
+        let spec = spec.clone();
+        let batch = scenario.multi_get_batch.max(1);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(spec.seed + t as u64);
+            let mut keys = vec![0 as Key; batch];
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = spec.skew.sample(&mut rng, key_range);
+                let dice = rng.gen_range(0..100u32);
+                if dice < spec.mix.insert {
+                    map.insert(key, key);
+                } else if dice < spec.mix.insert + spec.mix.delete {
+                    map.remove(key);
+                } else if dice < spec.mix.insert + spec.mix.delete + spec.mix.range {
+                    keys[0] = key;
+                    for slot in keys.iter_mut().skip(1) {
+                        *slot = spec.skew.sample(&mut rng, key_range);
+                    }
+                    std::hint::black_box(map.multi_get(&keys));
+                } else {
+                    std::hint::black_box(map.get(key));
+                }
+                ops += 1;
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(spec.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        join_worker(h, spec);
     }
     let elapsed = start.elapsed();
     vcas_ebr::flush();
@@ -122,11 +196,12 @@ pub fn run_dedicated(
         let stop = stop.clone();
         let update_ops = update_ops.clone();
         let seed = spec.seed + t as u64;
+        let skew = spec.skew;
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut ops = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                let key = rng.gen_range(1..=key_range);
+                let key = skew.sample(&mut rng, key_range);
                 if rng.gen_bool(0.5) {
                     map.insert(key, key);
                 } else {
@@ -157,7 +232,7 @@ pub fn run_dedicated(
     std::thread::sleep(Duration::from_millis(spec.duration_ms));
     stop.store(true, Ordering::Relaxed);
     for h in handles {
-        h.join().unwrap();
+        join_worker(h, spec);
     }
     let elapsed = start.elapsed();
     vcas_ebr::flush();
@@ -230,8 +305,8 @@ mod tests {
         spec.range_size = 16;
         let tree: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned_default());
         let t = run_mixed(tree, &spec);
-        assert!(t.operations > 0);
-        assert!(t.ops_per_sec() > 0.0);
+        assert!(t.operations > 0, "no operations completed (seed={:#x})", spec.seed);
+        assert!(t.ops_per_sec() > 0.0, "zero throughput (seed={:#x})", spec.seed);
     }
 
     #[test]
@@ -241,8 +316,53 @@ mod tests {
         spec.range_size = 32;
         let tree: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned_default());
         let r = run_dedicated(tree, &spec, 1, 1);
-        assert!(r.updates.operations > 0);
-        assert!(r.range_queries.operations > 0);
+        assert!(r.updates.operations > 0, "no updates completed (seed={:#x})", spec.seed);
+        assert!(
+            r.range_queries.operations > 0,
+            "no range queries completed (seed={:#x})",
+            spec.seed
+        );
+    }
+
+    #[test]
+    fn hashmap_run_completes_for_every_contender() {
+        use vcas_structures::{LockHashMap, VcasHashMap};
+        let scenario = HashMapScenario { load_factor: 0.75, multi_get_batch: 8 };
+        let mut spec = WorkloadSpec::new(2, 200, Mix::update_heavy_with_rq()).with_seed(0xFEED);
+        spec.duration_ms = 50;
+        let buckets = scenario.bucket_count(spec.initial_size);
+        let maps: Vec<Arc<dyn SnapshotMap>> = vec![
+            Arc::new(VcasHashMap::new_versioned(&vcas_core::Camera::new(), buckets)),
+            Arc::new(VcasHashMap::new_plain(buckets)),
+            Arc::new(LockHashMap::new()),
+        ];
+        for map in maps {
+            let name = map.name();
+            let t = run_hashmap(map, &spec, &scenario);
+            assert!(t.operations > 0, "{name}: no operations (seed={:#x})", spec.seed);
+        }
+    }
+
+    #[test]
+    fn skewed_hashmap_run_stays_in_universe() {
+        use crate::spec::KeySkew;
+        use vcas_structures::VcasHashMap;
+        let scenario = HashMapScenario::default();
+        let mut spec = WorkloadSpec::new(2, 100, Mix::update_heavy())
+            .with_skew(KeySkew::Skewed { exponent: 2.0 });
+        spec.duration_ms = 40;
+        let map = Arc::new(VcasHashMap::new_versioned_default());
+        let as_map: Arc<dyn SnapshotMap> = map.clone();
+        let t = run_hashmap(as_map, &spec, &scenario);
+        assert!(t.operations > 0, "no operations (seed={:#x})", spec.seed);
+        let key_range = spec.key_range();
+        for (k, _) in map.snapshot_iter() {
+            assert!(
+                (1..=key_range).contains(&k),
+                "key {k} outside [1, {key_range}] (seed={:#x})",
+                spec.seed
+            );
+        }
     }
 
     #[test]

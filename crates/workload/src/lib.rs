@@ -11,14 +11,22 @@
 //!   ([`run_mixed`]), or with dedicated update and range-query thread pools
 //!   ([`run_dedicated`], used for the rqsize sweeps of Figs. 2g–2k);
 //! * the sorted-insertion workload of Fig. 2i ([`run_sorted_insert`]), where threads grab
-//!   chunks of an ascending key sequence from a global work queue.
+//!   chunks of an ascending key sequence from a global work queue;
+//! * the `hashmap` scenario ([`run_hashmap`]): the mixed workload driven against an
+//!   unordered [`vcas_structures::SnapshotMap`], with atomic `multi_get` batches in the
+//!   range-query slot, a configurable table load factor ([`HashMapScenario`]) and
+//!   configurable key skew ([`KeySkew`]).
 //!
-//! Throughput is reported in operations per second ([`Throughput`]).
+//! Throughput is reported in operations per second ([`Throughput`]). All randomness
+//! derives from [`WorkloadSpec::seed`] (default [`spec::DEFAULT_SEED`]), so runs are
+//! reproducible and driver failures print the seed to replay them.
 
 #![warn(missing_docs)]
 
 pub mod driver;
 pub mod spec;
 
-pub use driver::{run_dedicated, run_mixed, run_sorted_insert, DedicatedResult, Throughput};
-pub use spec::{Mix, WorkloadSpec};
+pub use driver::{
+    run_dedicated, run_hashmap, run_mixed, run_sorted_insert, DedicatedResult, Throughput,
+};
+pub use spec::{HashMapScenario, KeySkew, Mix, WorkloadSpec};

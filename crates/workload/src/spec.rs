@@ -1,4 +1,78 @@
-//! Workload specifications: operation mixes and run parameters.
+//! Workload specifications: operation mixes, key distributions, and run parameters.
+
+use rand::Rng;
+
+/// Default RNG seed for every workload run.
+///
+/// All randomness in the driver (prefill, per-thread operation streams) derives from
+/// [`WorkloadSpec::seed`], which defaults to this constant — so two runs of the same spec
+/// draw identical operation sequences, and any driver test failure can be reproduced by
+/// re-running with the seed printed in its assertion message.
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+/// How operation keys are drawn from the key universe `[1, r]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeySkew {
+    /// Uniformly random keys (the paper's workload).
+    Uniform,
+    /// Power-law skew toward small keys via inverse-transform sampling:
+    /// `key = ceil(r * u^exponent)` for uniform `u` in `(0, 1)`, so
+    /// `P(key <= x) = (x / r)^(1 / exponent)`. `exponent = 1.0` is uniform; larger
+    /// exponents concentrate traffic on fewer keys (a cheap stand-in for Zipf that needs
+    /// no per-range precomputation, so it can run inside the hot sampling loop).
+    Skewed {
+        /// Skew strength; must be at least 1.0 (1.0 = uniform).
+        exponent: f64,
+    },
+}
+
+impl KeySkew {
+    /// Draws one key from `[1, key_range]` under this distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, key_range: u64) -> u64 {
+        match *self {
+            KeySkew::Uniform => rng.gen_range(1..=key_range.max(1)),
+            KeySkew::Skewed { exponent } => {
+                // 53 random bits -> uniform f64 in (0, 1) (offset by half an ulp so the
+                // power transform never sees exactly 0).
+                let u = (rng.gen_range(0..(1u64 << 53)) as f64 + 0.5) / (1u64 << 53) as f64;
+                let k = (key_range.max(1) as f64 * u.powf(exponent.max(1.0))).ceil() as u64;
+                k.clamp(1, key_range.max(1))
+            }
+        }
+    }
+
+    /// Compact label, e.g. `uniform` or `skew2.0`.
+    pub fn label(&self) -> String {
+        match self {
+            KeySkew::Uniform => "uniform".to_string(),
+            KeySkew::Skewed { exponent } => format!("skew{exponent:.1}"),
+        }
+    }
+}
+
+/// Parameters of the `hashmap` workload scenario: how the table is sized relative to the
+/// spec's `initial_size`, and how large the atomic `multi_get` batches are.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashMapScenario {
+    /// Target load factor (keys per bucket); the bucket count is
+    /// `initial_size / load_factor` rounded up to a power of two.
+    pub load_factor: f64,
+    /// Number of keys per `multi_get` batch issued in the range-query slot of the mix.
+    pub multi_get_batch: usize,
+}
+
+impl Default for HashMapScenario {
+    fn default() -> Self {
+        HashMapScenario { load_factor: 0.75, multi_get_batch: 16 }
+    }
+}
+
+impl HashMapScenario {
+    /// Bucket count for a table prefilled to `initial_size` keys at this load factor.
+    pub fn bucket_count(&self, initial_size: u64) -> usize {
+        vcas_structures::VcasHashMap::buckets_for(initial_size.max(1), self.load_factor)
+    }
+}
 
 /// An operation mix, as percentages of insert / delete / find / range-query.
 ///
@@ -55,12 +129,17 @@ pub struct WorkloadSpec {
     pub range_size: u64,
     /// Length of the timed window in milliseconds.
     pub duration_ms: u64,
-    /// Seed for the per-thread RNGs (runs are reproducible given the same seed).
+    /// Seed for the per-thread RNGs (runs are reproducible given the same seed); defaults
+    /// to [`DEFAULT_SEED`]. Driver assertion failures print this value.
     pub seed: u64,
+    /// Distribution operation keys are drawn from (prefill is always uniform, so the
+    /// structure reliably reaches `initial_size` even under heavy skew).
+    pub skew: KeySkew,
 }
 
 impl WorkloadSpec {
-    /// A spec with the given thread count and size, using the paper's defaults elsewhere.
+    /// A spec with the given thread count and size, using the paper's defaults elsewhere
+    /// (uniform keys, seed [`DEFAULT_SEED`]).
     pub fn new(threads: usize, initial_size: u64, mix: Mix) -> WorkloadSpec {
         WorkloadSpec {
             threads,
@@ -68,8 +147,21 @@ impl WorkloadSpec {
             mix,
             range_size: 1024,
             duration_ms: 300,
-            seed: 0xC0FFEE,
+            seed: DEFAULT_SEED,
+            skew: KeySkew::Uniform,
         }
+    }
+
+    /// Same spec with an explicit RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> WorkloadSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Same spec with a different key distribution.
+    pub fn with_skew(mut self, skew: KeySkew) -> WorkloadSpec {
+        self.skew = skew;
+        self
     }
 
     /// The key universe `[1, r]`: chosen (as in §7 "Workload") so the structure stays at the
@@ -91,6 +183,49 @@ mod tests {
         assert_eq!(Mix::update_heavy().find(), 50);
         assert_eq!(Mix::update_heavy_with_rq().find(), 49);
         assert_eq!(Mix::update_heavy().label(), "30i-20d-50f-0rq");
+    }
+
+    #[test]
+    fn seed_is_explicit_and_overridable() {
+        let spec = WorkloadSpec::new(1, 100, Mix::lookup_heavy());
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.with_seed(42).seed, 42);
+    }
+
+    #[test]
+    fn skew_sampler_stays_in_range_and_skews_low() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(DEFAULT_SEED);
+        let range = 10_000u64;
+        for skew in [KeySkew::Uniform, KeySkew::Skewed { exponent: 3.0 }] {
+            for _ in 0..5_000 {
+                let k = skew.sample(&mut rng, range);
+                assert!((1..=range).contains(&k), "{k} out of [1, {range}] under {skew:?}");
+            }
+        }
+        // Under exponent 3, the median of u^3 is 0.125, so well over half the draws land
+        // in the bottom quarter of the universe; under uniform, about a quarter do.
+        let mut low = 0;
+        let draws = 4_000;
+        let skewed = KeySkew::Skewed { exponent: 3.0 };
+        for _ in 0..draws {
+            if skewed.sample(&mut rng, range) <= range / 4 {
+                low += 1;
+            }
+        }
+        assert!(low > draws / 2, "skewed sampler not skewed: {low}/{draws} in bottom quarter");
+        assert_eq!(skewed.label(), "skew3.0");
+        assert_eq!(KeySkew::Uniform.label(), "uniform");
+    }
+
+    #[test]
+    fn hashmap_scenario_sizes_the_table() {
+        let s = HashMapScenario::default();
+        assert!((s.load_factor - 0.75).abs() < 1e-9);
+        // 1000 keys at load factor 0.75 -> 1334 buckets -> rounded up to 2048.
+        assert_eq!(s.bucket_count(1000), 2048);
+        let packed = HashMapScenario { load_factor: 8.0, multi_get_batch: 4 };
+        assert_eq!(packed.bucket_count(1000), 128);
     }
 
     #[test]
