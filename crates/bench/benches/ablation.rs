@@ -8,7 +8,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use vcas_core::{Camera, DirectVersionedPtr, VersionInfo, VersionedNode, VersionedPtr};
 use vcas_ebr::{pin, Owned};
-use vcas_structures::VcasHashMap;
+use vcas_structures::queries::{run_query, run_query_on_view, QueryKind};
+use vcas_structures::{Nbbst, VcasHashMap};
 
 struct DirectNode {
     _payload: u64,
@@ -107,9 +108,47 @@ fn bench_hashmap_versioning_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// What reusing a snapshot view across a query batch buys: the same Table-2 queries, each
+/// paying for its own snapshot + EBR pin (`run_query`) versus all sharing one pre-opened
+/// view (`run_query_on_view`). The delta is the per-query fixed cost the reified-view API
+/// amortizes away.
+fn bench_view_reuse(c: &mut Criterion) {
+    const SIZE: u64 = 4_096;
+    let tree = Nbbst::new_versioned(&Camera::new());
+    // Insert the key set in shuffled order: ascending insertion would degenerate the
+    // unbalanced BST into a SIZE-deep list, and the O(depth) query cost would drown the
+    // per-query snapshot cost being measured.
+    for k in vcas_bench::shuffled_keys(SIZE) {
+        tree.insert(k, k);
+    }
+    let mut group = c.benchmark_group("view_reuse");
+    for kind in [QueryKind::MultiSearch4, QueryKind::Succ1] {
+        let mut anchor = 1u64;
+        group.bench_with_input(
+            BenchmarkId::new("per_query_snapshot", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    anchor = anchor % SIZE + 1;
+                    std::hint::black_box(run_query(&tree, kind, anchor, SIZE))
+                })
+            },
+        );
+        let view = tree.view();
+        let mut anchor = 1u64;
+        group.bench_with_input(BenchmarkId::new("reused_view", kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                anchor = anchor % SIZE + 1;
+                std::hint::black_box(run_query_on_view(&view, kind, anchor, SIZE))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_indirect_vs_direct, bench_hashmap_versioning_overhead
+    targets = bench_indirect_vs_direct, bench_hashmap_versioning_overhead, bench_view_reuse
 }
 criterion_main!(ablation);

@@ -30,4 +30,4 @@ pub mod experiments;
 pub mod smoke;
 
 pub use experiments::{run_experiment, ExperimentConfig};
-pub use smoke::{run_quick, SmokeConfig, SmokeRow};
+pub use smoke::{run_quick, shuffled_keys, SmokeConfig, SmokeRow};

@@ -15,10 +15,13 @@ use std::io::Write as _;
 use std::sync::Arc;
 
 use vcas_core::Camera;
-use vcas_structures::queries::HashQueryKind;
+use vcas_structures::queries::{run_query, HashQueryKind, QueryKind};
 use vcas_structures::traits::AtomicRangeMap;
-use vcas_structures::{DcBst, HarrisList, LockBst, Nbbst};
-use vcas_workload::{run_hashmap, run_mixed, HashMapScenario, KeySkew, Mix, WorkloadSpec};
+use vcas_structures::{DcBst, HarrisList, LockBst, Nbbst, VcasHashMap};
+use vcas_workload::{
+    run_composed, run_hashmap, run_mixed, ComposedScenario, HashMapScenario, KeySkew, Mix,
+    WorkloadSpec,
+};
 
 use crate::experiments::{fresh_hashmap, HASHMAP_CONTENDERS};
 
@@ -47,6 +50,20 @@ impl Default for SmokeConfig {
     fn default() -> Self {
         SmokeConfig { duration_ms: 60, size: 2_000, threads: 1 }
     }
+}
+
+/// The keys `1..=size` in a deterministic shuffled order (Fisher–Yates), so prefilled
+/// unbalanced BSTs get their expected O(log n) depth instead of a degenerate list.
+/// Shared with the criterion `view_reuse` bench so both measurements prefill identically.
+pub fn shuffled_keys(size: u64) -> Vec<u64> {
+    use rand::{Rng, SeedableRng};
+    let mut keys: Vec<u64> = (1..=size).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+    for i in (1..keys.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        keys.swap(i, j);
+    }
+    keys
 }
 
 fn spec(cfg: &SmokeConfig, mix: Mix) -> WorkloadSpec {
@@ -102,6 +119,66 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
         let qps = crate::experiments::timed_query_qps(map.as_ref(), kind, cfg.size, window);
         rows.push(SmokeRow { id: format!("query-{}/VcasHashMap", kind.label()), mops: qps / 1e6 });
     }
+
+    // View amortization ablation: the identical cycle of Table-2 sub-queries executed (a)
+    // with a fresh snapshot view per sub-query and (b) against one reused view per batch
+    // of `VIEW_BATCH` ([`QueryKind::Composed`] uses the same anchor derivation, so the two
+    // rows differ only in how often a snapshot + EBR pin is taken).
+    const VIEW_BATCH: usize = 64;
+    let tree = Nbbst::new_versioned(&Camera::new());
+    // Shuffled insertion order: ascending inserts would degenerate the unbalanced BST
+    // into a size-deep list, and the O(depth) query cost would drown the per-query
+    // snapshot cost this row pair measures.
+    for k in shuffled_keys(cfg.size) {
+        tree.insert(k, k);
+    }
+    let window = std::time::Duration::from_millis(cfg.duration_ms);
+    for (id, reused) in
+        [("view-ablation/per-query-snapshot", false), ("view-ablation/reused-view", true)]
+    {
+        let start = std::time::Instant::now();
+        let mut queries = 0u64;
+        let mut anchor = 1u64;
+        while start.elapsed() < window {
+            anchor = anchor % cfg.size + 1;
+            if reused {
+                std::hint::black_box(run_query(
+                    &tree,
+                    QueryKind::Composed { n: VIEW_BATCH },
+                    anchor,
+                    cfg.size,
+                ));
+            } else {
+                for i in 0..VIEW_BATCH {
+                    let sub_anchor = anchor.wrapping_add(i as u64 * 131) % cfg.size.max(1);
+                    std::hint::black_box(run_query(
+                        &tree,
+                        QueryKind::all()[i % QueryKind::all().len()],
+                        sub_anchor,
+                        cfg.size,
+                    ));
+                }
+            }
+            queries += VIEW_BATCH as u64;
+        }
+        let qps = queries as f64 / start.elapsed().as_secs_f64();
+        rows.push(SmokeRow { id: id.to_string(), mops: qps / 1e6 });
+    }
+
+    // The composed scenario: group snapshots over a BST + hash map sharing one camera,
+    // under one concurrent updater (reported in individual queries per second).
+    let camera = Camera::new();
+    let tree = Arc::new(Nbbst::new_versioned(&camera));
+    let map = Arc::new(VcasHashMap::new_versioned(&camera, buckets));
+    let r = run_composed(
+        tree,
+        map,
+        &spec(cfg, Mix::update_heavy()),
+        &ComposedScenario::default(),
+        1,
+        cfg.threads,
+    );
+    rows.push(SmokeRow { id: "composed/VcasGroup".to_string(), mops: r.queries.mops() });
 
     rows
 }
@@ -176,10 +253,16 @@ mod tests {
     #[test]
     fn smoke_produces_a_row_per_scenario() {
         let rows = run_smoke(&tiny());
-        // 6 ordered + 6 hashmap (2 skews x 3 contenders) + 2 query rows.
-        assert_eq!(rows.len(), 14);
+        // 6 ordered + 6 hashmap (2 skews x 3 contenders) + 2 query rows
+        // + 2 view-ablation rows + 1 composed row.
+        assert_eq!(rows.len(), 17);
         let ids: std::collections::HashSet<_> = rows.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids.len(), rows.len(), "duplicate smoke ids");
+        // The view-amortization comparison and the cross-structure scenario must land in
+        // BENCH_smoke.json (acceptance criterion of the snapshot-view redesign).
+        assert!(ids.contains("view-ablation/per-query-snapshot"));
+        assert!(ids.contains("view-ablation/reused-view"));
+        assert!(ids.contains("composed/VcasGroup"));
         for row in &rows {
             assert!(row.mops > 0.0, "{} reported zero throughput", row.id);
         }

@@ -1,0 +1,245 @@
+//! Camera groups: several structures registered on one camera, snapshotted together.
+//!
+//! The paper's `takeSnapshot` covers *every* versioned CAS object associated with one
+//! camera, which means structures that share a camera can already — in principle — be read
+//! at one common timestamp. [`CameraGroup`] turns that principle into an API object: it
+//! owns the shared [`Camera`] plus the structures registered on it, and
+//! [`CameraGroup::snapshot`] produces a [`GroupSnapshot`] — one *pinned* timestamp under
+//! which every member can be queried, the repo's cross-structure atomic read.
+//!
+//! The group is deliberately generic over the member type `S` (any `?Sized` type
+//! implementing [`CameraAttached`], typically a trait object such as
+//! `dyn vcas_structures::SnapshotSource`): this crate knows about cameras and versioned CAS
+//! objects, not about maps, so the data-structure layer decides what "query a member at a
+//! handle" means (see `vcas_structures::view`).
+
+use std::sync::Arc;
+
+use crate::camera::Camera;
+use crate::snapshot::{PinnedSnapshot, SnapshotHandle};
+
+/// Something that may be registered with a camera: versioned structures report the camera
+/// their versioned CAS objects are associated with, unversioned (best-effort) structures
+/// report `None`.
+///
+/// This is the only thing `vcas-core` needs to know about a data structure to validate
+/// [`CameraGroup::register`]; the query surface of a member lives in higher layers.
+pub trait CameraAttached: Send + Sync {
+    /// The camera this object's versioned CAS objects are registered with, if any.
+    fn attached_camera(&self) -> Option<&Arc<Camera>>;
+}
+
+/// A camera plus the structures registered on it (see module docs).
+///
+/// `S` is usually a trait object (`dyn SnapshotSource` from `vcas-structures`), so one
+/// group can hold heterogeneous members — a hash map and a BST, say — as long as every
+/// versioned member shares the group's camera.
+pub struct CameraGroup<S: ?Sized + CameraAttached> {
+    camera: Arc<Camera>,
+    members: Vec<Arc<S>>,
+}
+
+impl<S: ?Sized + CameraAttached> CameraGroup<S> {
+    /// Creates an empty group around `camera`.
+    pub fn new(camera: Arc<Camera>) -> CameraGroup<S> {
+        CameraGroup { camera, members: Vec::new() }
+    }
+
+    /// Creates an empty group with a fresh private camera.
+    pub fn with_new_camera() -> CameraGroup<S> {
+        Self::new(Camera::new())
+    }
+
+    /// The shared camera every versioned member must be associated with.
+    pub fn camera(&self) -> &Arc<Camera> {
+        &self.camera
+    }
+
+    /// Registers `member` and returns its index in the group.
+    ///
+    /// A versioned member must be attached to this group's camera — otherwise a group
+    /// snapshot would *not* name one common timestamp across members, which is the whole
+    /// point; such a member is rejected.
+    ///
+    /// A member with no camera (`attached_camera() == None`, e.g. a lock-based baseline)
+    /// is accepted: group snapshots over it are *best-effort* (its views read current
+    /// state), which keeps evaluation harnesses heterogeneous.
+    pub fn register(&mut self, member: Arc<S>) -> Result<usize, GroupRegisterError> {
+        if let Some(camera) = member.attached_camera() {
+            if !Arc::ptr_eq(camera, &self.camera) {
+                return Err(GroupRegisterError::ForeignCamera);
+            }
+        }
+        self.members.push(member);
+        Ok(self.members.len() - 1)
+    }
+
+    /// Registered members, in registration order.
+    pub fn members(&self) -> &[Arc<S>] {
+        &self.members
+    }
+
+    /// The `index`-th registered member.
+    pub fn member(&self, index: usize) -> &Arc<S> {
+        &self.members[index]
+    }
+
+    /// Number of registered members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Is the group empty?
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Takes one *pinned* snapshot of the shared camera and returns it bundled with the
+    /// members: every view opened through the returned [`GroupSnapshot`] observes the
+    /// same timestamp, and version-list truncation will not reclaim any version the
+    /// snapshot may need while it is alive.
+    pub fn snapshot(&self) -> GroupSnapshot<S> {
+        GroupSnapshot { pin: self.camera.pin_snapshot(), members: self.members.clone() }
+    }
+}
+
+impl<S: ?Sized + CameraAttached> std::fmt::Debug for CameraGroup<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CameraGroup")
+            .field("camera", &self.camera)
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+/// Why [`CameraGroup::register`] rejected a member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupRegisterError {
+    /// The member's versioned CAS objects are associated with a different camera, so a
+    /// group snapshot could not cover it at the shared timestamp.
+    ForeignCamera,
+}
+
+impl std::fmt::Display for GroupRegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupRegisterError::ForeignCamera => {
+                write!(f, "member is versioned under a different camera than the group's")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupRegisterError {}
+
+/// One pinned timestamp over every member of a [`CameraGroup`].
+///
+/// Holds the [`PinnedSnapshot`] for as long as it is alive, so version-list truncation
+/// preserves everything a member view opened at [`GroupSnapshot::handle`] may read. Views
+/// opened through a group snapshot must not outlive it (the data-structure layer ties
+/// their lifetimes to the snapshot's borrow); see `docs/snapshot_views.md`.
+pub struct GroupSnapshot<S: ?Sized> {
+    pin: PinnedSnapshot,
+    members: Vec<Arc<S>>,
+}
+
+impl<S: ?Sized> GroupSnapshot<S> {
+    /// The shared snapshot handle every member view is anchored at.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.pin.handle()
+    }
+
+    /// The members covered by this snapshot, in registration order.
+    pub fn members(&self) -> &[Arc<S>] {
+        &self.members
+    }
+
+    /// The `index`-th member covered by this snapshot.
+    pub fn member(&self, index: usize) -> &Arc<S> {
+        &self.members[index]
+    }
+
+    /// Number of members covered.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Does this snapshot cover no members?
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl<S: ?Sized> std::fmt::Debug for GroupSnapshot<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupSnapshot")
+            .field("handle", &self.handle())
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Versioned(Arc<Camera>);
+    impl CameraAttached for Versioned {
+        fn attached_camera(&self) -> Option<&Arc<Camera>> {
+            Some(&self.0)
+        }
+    }
+
+    struct Plain;
+    impl CameraAttached for Plain {
+        fn attached_camera(&self) -> Option<&Arc<Camera>> {
+            None
+        }
+    }
+
+    #[test]
+    fn register_accepts_shared_camera_and_plain_members() {
+        let camera = Camera::new();
+        let mut group: CameraGroup<dyn CameraAttached> = CameraGroup::new(camera.clone());
+        assert!(group.is_empty());
+        assert_eq!(group.register(Arc::new(Versioned(camera.clone()))), Ok(0));
+        assert_eq!(group.register(Arc::new(Plain)), Ok(1));
+        assert_eq!(group.len(), 2);
+        assert!(Arc::ptr_eq(group.camera(), &camera));
+    }
+
+    #[test]
+    fn register_rejects_foreign_camera() {
+        let mut group: CameraGroup<dyn CameraAttached> = CameraGroup::with_new_camera();
+        let err = group.register(Arc::new(Versioned(Camera::new())));
+        assert_eq!(err, Err(GroupRegisterError::ForeignCamera));
+        assert!(group.is_empty());
+        assert!(format!("{}", err.unwrap_err()).contains("different camera"));
+    }
+
+    #[test]
+    fn snapshot_pins_one_shared_timestamp() {
+        let camera = Camera::new();
+        let mut group: CameraGroup<dyn CameraAttached> = CameraGroup::new(camera.clone());
+        group.register(Arc::new(Versioned(camera.clone()))).unwrap();
+        group.register(Arc::new(Versioned(camera.clone()))).unwrap();
+
+        let snap = group.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(camera.pinned_count(), 1, "one pin covers every member");
+        // The pin keeps min_active at the snapshot's handle until dropped.
+        let _later = camera.take_snapshot();
+        assert_eq!(camera.min_active(), snap.handle().raw());
+        drop(snap);
+        assert_eq!(camera.pinned_count(), 0);
+    }
+
+    #[test]
+    fn group_snapshots_are_monotone() {
+        let camera = Camera::new();
+        let group: CameraGroup<dyn CameraAttached> = CameraGroup::new(camera.clone());
+        let a = group.snapshot();
+        let b = group.snapshot();
+        assert!(a.handle() <= b.handle());
+    }
+}

@@ -26,6 +26,10 @@
 //!   support for Harris-style marking.
 //! * [`PinnedSnapshot`] and per-camera snapshot registries, so version lists can be truncated
 //!   ([`VersionedCas::collect_before`]) once no pinned snapshot can still need old versions.
+//! * [`CameraGroup`] — a camera plus the structures registered on it; one
+//!   [`CameraGroup::snapshot`] pins a single timestamp under which *every* member can be
+//!   queried, the substrate for cross-structure atomic reads (the data-structure layer turns
+//!   a [`GroupSnapshot`] into per-member query views).
 //! * [`direct`] — the paper's §5 "avoiding indirection" optimization for recorded-once data
 //!   structures, storing the timestamp and version link inside the nodes themselves.
 //!
@@ -55,6 +59,7 @@
 
 pub mod camera;
 pub mod direct;
+pub mod group;
 pub mod snapshot;
 pub mod versioned;
 pub mod versioned_ptr;
@@ -62,6 +67,7 @@ pub mod vnode;
 
 pub use camera::Camera;
 pub use direct::{DirectVersionedPtr, VersionInfo, VersionedNode};
+pub use group::{CameraAttached, CameraGroup, GroupRegisterError, GroupSnapshot};
 pub use snapshot::{PinnedSnapshot, SnapshotHandle};
 pub use versioned::VersionedCas;
 pub use versioned_ptr::VersionedPtr;

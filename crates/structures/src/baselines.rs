@@ -18,11 +18,15 @@
 //!   [`crate::bst::Nbbst::range_query_non_atomic`] and friends on the plain tree.
 
 use std::collections::HashMap as StdHashMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use vcas_core::{Camera, CameraAttached, SnapshotHandle};
+
 use crate::bst::Nbbst;
 use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, SnapshotMap, Value};
+use crate::view::{BestEffortView, MapSnapshotView, SnapshotSource};
 
 /// Double-collect (validate and retry) range queries on the plain NBBST.
 pub struct DcBst {
@@ -100,6 +104,23 @@ impl AtomicRangeMap for DcBst {
     }
 }
 
+impl CameraAttached for DcBst {
+    fn attached_camera(&self) -> Option<&Arc<Camera>> {
+        None
+    }
+}
+
+/// Best-effort views: each call revalidates via double collect, but two calls on one view
+/// may observe different states.
+impl SnapshotSource for DcBst {
+    fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(BestEffortView::new(self))
+    }
+    fn view_at(&self, _handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
+        self.snapshot_view()
+    }
+}
+
 /// Coarse reader-writer locking: updates share the lock, range queries are exclusive.
 pub struct LockBst {
     inner: Nbbst,
@@ -163,6 +184,23 @@ impl AtomicRangeMap for LockBst {
     }
 }
 
+impl CameraAttached for LockBst {
+    fn attached_camera(&self) -> Option<&Arc<Camera>> {
+        None
+    }
+}
+
+/// Best-effort views: each call takes the lock exclusively, but two calls on one view may
+/// observe different states.
+impl SnapshotSource for LockBst {
+    fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(BestEffortView::new(self))
+    }
+    fn view_at(&self, _handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
+        self.snapshot_view()
+    }
+}
+
 /// Reader-writer-locked `std::collections::HashMap`: the baseline comparator for the vCAS
 /// hash map. Point reads share the lock, updates take it exclusively, and multi-point
 /// queries hold the read lock across the whole batch — trivially atomic, but every update
@@ -208,6 +246,23 @@ impl ConcurrentMap for LockHashMap {
     }
     fn name(&self) -> &'static str {
         "LockHashMap"
+    }
+}
+
+impl CameraAttached for LockHashMap {
+    fn attached_camera(&self) -> Option<&Arc<Camera>> {
+        None
+    }
+}
+
+/// Best-effort views: each call holds the read lock for its own duration only, so two
+/// calls on one view may observe different states.
+impl SnapshotSource for LockHashMap {
+    fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(BestEffortView::new(self))
+    }
+    fn view_at(&self, _handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
+        self.snapshot_view()
     }
 }
 

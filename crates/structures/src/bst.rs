@@ -21,10 +21,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use vcas_core::{Camera, SnapshotHandle, VersionedPtr};
+use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionedPtr};
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
 
 use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, Value};
+use crate::view::{MapSnapshotView, SnapshotSource};
 
 /// Sentinel key of the root's left dummy leaf: larger than every user key.
 const INF1: Key = Key::MAX - 1;
@@ -511,142 +512,70 @@ impl Nbbst {
     }
 
     // ----- multi-point queries ----------------------------------------------------------
+    //
+    // Every multi-point query runs against an [`NbbstView`]: one snapshot, one EBR pin,
+    // arbitrarily many reads. The methods below are batch-of-one conveniences that open a
+    // view and delegate; callers composing several queries should open the view themselves.
 
-    fn view_for_query(&self) -> View {
+    /// Opens a pinned snapshot view of the tree's state right now (the primary multi-point
+    /// query surface; see [`crate::view`]). In plain mode the view reads current state.
+    pub fn view(&self) -> NbbstView<'_> {
         match &self.mode {
+            Mode::Plain => self.current_view(),
+            Mode::Versioned(camera) => {
+                let pinned = camera.pin_snapshot();
+                let view = View::Snapshot(pinned.handle());
+                NbbstView { tree: self, _pin: Some(pinned), view, guard: pin() }
+            }
+        }
+    }
+
+    /// Opens a view anchored at `handle` (a timestamp from this tree's camera, e.g. a
+    /// [`vcas_core::GroupSnapshot::handle`]). The handle is *not* pinned by the view —
+    /// the caller is responsible for keeping it safe. Best-effort in plain mode.
+    pub fn view_at(&self, handle: SnapshotHandle) -> NbbstView<'_> {
+        let view = match &self.mode {
             Mode::Plain => View::Current,
-            Mode::Versioned(camera) => View::Snapshot(camera.take_snapshot()),
-        }
+            Mode::Versioned(_) => View::Snapshot(handle),
+        };
+        NbbstView { tree: self, _pin: None, view, guard: pin() }
     }
 
-    fn collect_range(
-        &self,
-        node: Shared<'_, Node>,
-        lo: Key,
-        hi: Key,
-        view: View,
-        out: &mut Vec<(Key, Value)>,
-        guard: &Guard,
-    ) {
-        let n = unsafe { node.deref() };
-        if n.is_leaf() {
-            if n.key >= lo && n.key <= hi && n.key <= MAX_KEY {
-                out.push((n.key, n.value));
-            }
-            return;
-        }
-        if lo < n.key {
-            self.collect_range(n.child(0).load_view(view, guard), lo, hi, view, out, guard);
-        }
-        if hi >= n.key {
-            self.collect_range(n.child(1).load_view(view, guard), lo, hi, view, out, guard);
-        }
-    }
-
-    fn collect_successors(
-        &self,
-        node: Shared<'_, Node>,
-        key: Key,
-        count: usize,
-        view: View,
-        out: &mut Vec<(Key, Value)>,
-        guard: &Guard,
-    ) {
-        if out.len() >= count {
-            return;
-        }
-        let n = unsafe { node.deref() };
-        if n.is_leaf() {
-            if n.key > key && n.key <= MAX_KEY {
-                out.push((n.key, n.value));
-            }
-            return;
-        }
-        if key < n.key {
-            self.collect_successors(
-                n.child(0).load_view(view, guard),
-                key,
-                count,
-                view,
-                out,
-                guard,
-            );
-        }
-        if out.len() < count {
-            self.collect_successors(
-                n.child(1).load_view(view, guard),
-                key,
-                count,
-                view,
-                out,
-                guard,
-            );
-        }
-    }
-
-    fn search_view(&self, key: Key, view: View, guard: &Guard) -> Option<Value> {
-        let mut node = self.root.load(Ordering::SeqCst, guard);
-        loop {
-            let n = unsafe { node.deref() };
-            if n.is_leaf() {
-                return (n.key == key).then_some(n.value);
-            }
-            node = n.child(Self::dir_for(key, n.key)).load_view(view, guard);
-        }
-    }
-
-    fn range_with_view(&self, lo: Key, hi: Key, view: View) -> Vec<(Key, Value)> {
-        let guard = pin();
-        let root = self.root.load(Ordering::SeqCst, &guard);
-        let mut out = Vec::new();
-        self.collect_range(root, lo, hi, view, &mut out, &guard);
-        out
+    /// A view of the current state, deliberately ignoring snapshots (the paper's
+    /// non-atomic baseline).
+    fn current_view(&self) -> NbbstView<'_> {
+        NbbstView { tree: self, _pin: None, view: View::Current, guard: pin() }
     }
 
     /// Atomic range query (versioned mode); non-atomic traversal in plain mode.
     pub fn range_query(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
-        self.range_with_view(lo, hi, self.view_for_query())
+        self.view().range(lo, hi)
     }
 
     /// Range query that deliberately ignores snapshots (the paper's non-atomic baseline),
     /// available in both modes.
     pub fn range_query_non_atomic(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
-        self.range_with_view(lo, hi, View::Current)
+        self.current_view().range(lo, hi)
     }
 
     /// Atomic `succ(k, c)`: the first `c` keys greater than `key` (Table 2).
     pub fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
-        let view = self.view_for_query();
-        let guard = pin();
-        let root = self.root.load(Ordering::SeqCst, &guard);
-        let mut out = Vec::new();
-        self.collect_successors(root, key, count, view, &mut out, &guard);
-        out
+        self.view().successors(key, count)
     }
 
     /// Non-atomic `succ(k, c)` baseline.
     pub fn successors_non_atomic(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
-        let guard = pin();
-        let root = self.root.load(Ordering::SeqCst, &guard);
-        let mut out = Vec::new();
-        self.collect_successors(root, key, count, View::Current, &mut out, &guard);
-        out
+        self.current_view().successors(key, count)
     }
 
     /// Atomic `findif`: first key in `[lo, hi)` satisfying `pred` (Table 2).
     pub fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
-        if hi == 0 || lo >= hi {
-            return None;
-        }
-        let view = self.view_for_query();
-        self.range_with_view(lo, hi - 1, view).into_iter().find(|(k, _)| pred(*k))
+        self.view().find_if(lo, hi, pred)
     }
 
     /// Atomic `multisearch`: looks up every key against one snapshot (Table 2).
     pub fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
-        let view = self.view_for_query();
-        let guard = pin();
-        keys.iter().map(|&k| self.search_view(k, view, &guard)).collect()
+        self.view().multi_get(keys)
     }
 
     /// Non-atomic multisearch baseline: independent lookups.
@@ -656,21 +585,7 @@ impl Nbbst {
 
     /// Atomic structural query: the height of the tree (number of internal levels).
     pub fn height(&self) -> usize {
-        let view = self.view_for_query();
-        let guard = pin();
-        fn depth(node: Shared<'_, Node>, view: View, guard: &Guard) -> usize {
-            let n = unsafe { node.deref() };
-            if n.is_leaf() {
-                return 0;
-            }
-            1 + depth(n.child(0).load_view(view, guard), view, guard).max(depth(
-                n.child(1).load_view(view, guard),
-                view,
-                guard,
-            ))
-        }
-        let root = self.root.load(Ordering::SeqCst, &guard);
-        depth(root, view, &guard)
+        self.view().height()
     }
 
     /// Atomic full scan of the set (every key/value pair), in ascending key order.
@@ -678,9 +593,9 @@ impl Nbbst {
         self.range_query(0, MAX_KEY)
     }
 
-    /// Number of keys currently stored (derived from an atomic scan in versioned mode).
+    /// Number of keys currently stored (counted on one snapshot in versioned mode).
     pub fn len(&self) -> usize {
-        self.scan().len()
+        self.view().len()
     }
 
     /// Is the set empty?
@@ -710,6 +625,199 @@ impl Nbbst {
             }
         }
         retired
+    }
+}
+
+/// A snapshot view of an [`Nbbst`]: every query on one view observes the same timestamp
+/// (see [`Nbbst::view`] / [`Nbbst::view_at`]). Holds the snapshot pin (when pinned) and a
+/// single EBR guard for its whole lifetime, so a batch of queries pays for both once.
+pub struct NbbstView<'a> {
+    tree: &'a Nbbst,
+    /// Keeps the snapshot registered with the camera so version-list truncation cannot
+    /// reclaim versions this view may read.
+    _pin: Option<PinnedSnapshot>,
+    view: View,
+    guard: Guard,
+}
+
+impl NbbstView<'_> {
+    /// In-order walk over every leaf with a user key in `[lo, hi]`, calling `f` until it
+    /// returns `false`. Returns `false` iff the walk was aborted by `f`.
+    fn walk(
+        &self,
+        node: Shared<'_, Node>,
+        lo: Key,
+        hi: Key,
+        f: &mut dyn FnMut(Key, Value) -> bool,
+    ) -> bool {
+        let n = unsafe { node.deref() };
+        if n.is_leaf() {
+            if n.key >= lo && n.key <= hi && n.key <= MAX_KEY {
+                return f(n.key, n.value);
+            }
+            return true;
+        }
+        if lo < n.key && !self.walk(n.child(0).load_view(self.view, &self.guard), lo, hi, f) {
+            return false;
+        }
+        if hi >= n.key {
+            return self.walk(n.child(1).load_view(self.view, &self.guard), lo, hi, f);
+        }
+        true
+    }
+
+    fn walk_range(&self, lo: Key, hi: Key, f: &mut dyn FnMut(Key, Value) -> bool) {
+        let root = self.tree.root.load(Ordering::SeqCst, &self.guard);
+        self.walk(root, lo, hi, f);
+    }
+
+    /// The value associated with `key` in this view.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let mut node = self.tree.root.load(Ordering::SeqCst, &self.guard);
+        loop {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                return (n.key == key).then_some(n.value);
+            }
+            node = n.child(Nbbst::dir_for(key, n.key)).load_view(self.view, &self.guard);
+        }
+    }
+
+    /// Every `(key, value)` pair with `lo <= key <= hi`, ascending.
+    pub fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        self.walk_range(lo, hi, &mut |k, v| {
+            out.push((k, v));
+            true
+        });
+        out
+    }
+
+    /// The first `count` pairs with key strictly greater than `key`, ascending.
+    pub fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        if count == 0 {
+            return out;
+        }
+        self.walk_range(key.saturating_add(1), MAX_KEY, &mut |k, v| {
+            out.push((k, v));
+            out.len() < count
+        });
+        out
+    }
+
+    /// The first pair in `[lo, hi)` (key order) whose key satisfies `pred`.
+    pub fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if hi == 0 || lo >= hi {
+            return None;
+        }
+        let mut out = None;
+        self.walk_range(lo, hi - 1, &mut |k, v| {
+            if pred(k) {
+                out = Some((k, v));
+                return false;
+            }
+            true
+        });
+        out
+    }
+
+    /// Looks up every key in `keys` against this view.
+    pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        keys.iter().map(|&k| self.get(k)).collect()
+    }
+
+    /// Full scan of the view, ascending.
+    pub fn scan(&self) -> Vec<(Key, Value)> {
+        self.range(0, MAX_KEY)
+    }
+
+    /// Number of keys in this view (counting walk; nothing is materialized).
+    pub fn len(&self) -> usize {
+        let mut n = 0usize;
+        self.walk_range(0, MAX_KEY, &mut |_, _| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// Does this view contain no keys?
+    pub fn is_empty(&self) -> bool {
+        let mut any = false;
+        self.walk_range(0, MAX_KEY, &mut |_, _| {
+            any = true;
+            false
+        });
+        !any
+    }
+
+    /// Height of the tree in this view (number of internal levels).
+    pub fn height(&self) -> usize {
+        fn depth(view: &NbbstView<'_>, node: Shared<'_, Node>) -> usize {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                return 0;
+            }
+            let left = depth(view, n.child(0).load_view(view.view, &view.guard));
+            let right = depth(view, n.child(1).load_view(view.view, &view.guard));
+            1 + left.max(right)
+        }
+        let root = self.tree.root.load(Ordering::SeqCst, &self.guard);
+        depth(self, root)
+    }
+
+    /// The snapshot timestamp this view reads at (`None` for a current-state view).
+    pub fn timestamp(&self) -> Option<SnapshotHandle> {
+        match self.view {
+            View::Current => None,
+            View::Snapshot(h) => Some(h),
+        }
+    }
+}
+
+impl MapSnapshotView for NbbstView<'_> {
+    fn get(&self, key: Key) -> Option<Value> {
+        NbbstView::get(self, key)
+    }
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        NbbstView::multi_get(self, keys)
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(self.scan().into_iter())
+    }
+    fn len(&self) -> usize {
+        NbbstView::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        NbbstView::is_empty(self)
+    }
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        NbbstView::range(self, lo, hi)
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        NbbstView::successors(self, key, count)
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        NbbstView::find_if(self, lo, hi, pred)
+    }
+    fn timestamp(&self) -> Option<SnapshotHandle> {
+        NbbstView::timestamp(self)
+    }
+}
+
+impl CameraAttached for Nbbst {
+    fn attached_camera(&self) -> Option<&Arc<Camera>> {
+        self.camera()
+    }
+}
+
+impl SnapshotSource for Nbbst {
+    fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(self.view())
+    }
+    fn view_at(&self, handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(Nbbst::view_at(self, handle))
     }
 }
 
@@ -801,20 +909,8 @@ impl ConcurrentMap for Nbbst {
     }
 }
 
-impl AtomicRangeMap for Nbbst {
-    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
-        self.range_query(lo, hi)
-    }
-    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
-        Nbbst::successors(self, key, count)
-    }
-    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
-        Nbbst::find_if(self, lo, hi, pred)
-    }
-    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
-        Nbbst::multi_search(self, keys)
-    }
-}
+/// All multi-point queries come from the trait's view-based defaults.
+impl AtomicRangeMap for Nbbst {}
 
 #[cfg(test)]
 mod tests {
@@ -907,13 +1003,12 @@ mod tests {
         for k in 100..150u64 {
             tree.insert(k, k);
         }
-        // A query on the old snapshot must still see the original 50 keys.
-        let guard = pin();
-        let root = tree.root.load(Ordering::SeqCst, &guard);
-        let mut out = Vec::new();
-        tree.collect_range(root, 0, MAX_KEY, View::Snapshot(handle), &mut out, &guard);
-        let keys: Vec<Key> = out.iter().map(|(k, _)| *k).collect();
+        // A view anchored at the old handle must still see the original 50 keys.
+        let view = tree.view_at(handle);
+        let keys: Vec<Key> = view.scan().iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, (0..50u64).collect::<Vec<_>>());
+        assert_eq!(view.timestamp(), Some(handle));
+        assert_eq!(view.len(), 50);
         // And the current state is the new one.
         let now: Vec<Key> = tree.scan().iter().map(|(k, _)| *k).collect();
         assert_eq!(now, (100..150u64).collect::<Vec<_>>());

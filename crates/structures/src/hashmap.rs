@@ -16,10 +16,12 @@
 
 use std::sync::Arc;
 
-use vcas_core::{Camera, SnapshotHandle};
+use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle};
+use vcas_ebr::{pin, Guard};
 
 use crate::list::HarrisList;
 use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, SnapshotMap, Value};
+use crate::view::{MapSnapshotView, SnapshotSource};
 
 /// Fibonacci multiplicative hashing constant (2^64 / phi), the usual odd multiplier.
 const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -97,11 +99,11 @@ impl VcasHashMap {
         &self.buckets[((h >> 32) & self.mask) as usize]
     }
 
-    /// One snapshot handle covering every bucket, or `None` in plain mode.
-    fn query_handle(&self) -> Option<SnapshotHandle> {
+    /// One *pinned* snapshot covering every bucket, or `None` in plain mode.
+    fn pin_for_query(&self) -> Option<PinnedSnapshot> {
         match &self.mode {
             MapMode::Plain => None,
-            MapMode::Versioned(camera) => Some(camera.take_snapshot()),
+            MapMode::Versioned(camera) => Some(camera.pin_snapshot()),
         }
     }
 
@@ -128,23 +130,51 @@ impl VcasHashMap {
     }
 
     // ----- snapshot queries --------------------------------------------------------------
+    //
+    // Every multi-point query runs against a [`VcasHashMapView`]: one snapshot of the
+    // shared camera covers the whole bucket array, and one EBR pin serves the whole
+    // batch. The methods below are batch-of-one conveniences.
+
+    /// Opens a pinned snapshot view of the whole table's state right now (the primary
+    /// multi-point query surface; see [`crate::view`]). In plain mode the view reads
+    /// current state.
+    pub fn view(&self) -> VcasHashMapView<'_> {
+        let pinned = self.pin_for_query();
+        let handle = pinned.as_ref().map(|p| p.handle());
+        VcasHashMapView { map: self, _pin: pinned, handle, guard: pin() }
+    }
+
+    /// Opens a view anchored at `handle` (a timestamp from this table's camera, e.g. a
+    /// [`vcas_core::GroupSnapshot::handle`]). The handle is *not* pinned by the view.
+    /// Best-effort in plain mode.
+    pub fn view_at(&self, handle: SnapshotHandle) -> VcasHashMapView<'_> {
+        let handle = match &self.mode {
+            MapMode::Plain => None,
+            MapMode::Versioned(_) => Some(handle),
+        };
+        VcasHashMapView { map: self, _pin: None, handle, guard: pin() }
+    }
 
     /// Looks up every key in `keys` against one snapshot: in versioned mode all lookups
     /// observe the single timestamp taken at the start of the call (non-atomic in plain
     /// mode, where each lookup reads the current state).
     pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
-        let handle = self.query_handle();
-        keys.iter().map(|&k| self.bucket_of(k).get_at(handle, k)).collect()
+        self.view().multi_get(keys)
     }
 
     /// Iterates over every `(key, value)` pair live at a single snapshot timestamp
     /// (bucket order, key order within a bucket — not global key order). Buckets are
     /// materialized lazily, one at a time, so memory stays proportional to the largest
-    /// bucket. Non-atomic in plain mode.
+    /// bucket. The snapshot is pinned for the iterator's lifetime. Non-atomic in plain
+    /// mode.
     pub fn snapshot_iter(&self) -> SnapshotIter<'_> {
+        let pinned = self.pin_for_query();
+        let handle = pinned.as_ref().map(|p| p.handle());
         SnapshotIter {
             map: self,
-            handle: self.query_handle(),
+            _pin: pinned,
+            handle,
+            guard: pin(),
             next_bucket: 0,
             current: Vec::new().into_iter(),
         }
@@ -157,22 +187,27 @@ impl VcasHashMap {
         out
     }
 
-    /// Number of live keys (at a single timestamp in versioned mode).
+    /// Number of live keys (at a single timestamp in versioned mode). Counts bucket by
+    /// bucket on one view; nothing is materialized.
     pub fn len(&self) -> usize {
-        self.snapshot_iter().count()
+        self.view().len()
     }
 
     /// Is the map empty?
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.view().is_empty()
     }
 }
 
 /// Lazy per-bucket iterator returned by [`VcasHashMap::snapshot_iter`]; all buckets are
-/// read at the one snapshot handle taken when the iterator was created.
+/// read at the one snapshot handle (pinned for the iterator's lifetime) taken when the
+/// iterator was created.
 pub struct SnapshotIter<'a> {
     map: &'a VcasHashMap,
+    /// Keeps the snapshot registered with the camera while the iterator is alive.
+    _pin: Option<PinnedSnapshot>,
     handle: Option<SnapshotHandle>,
+    guard: Guard,
     next_bucket: usize,
     current: std::vec::IntoIter<(Key, Value)>,
 }
@@ -187,8 +222,97 @@ impl Iterator for SnapshotIter<'_> {
             }
             let bucket = self.map.buckets.get(self.next_bucket)?;
             self.next_bucket += 1;
-            self.current = bucket.collect_at(self.handle).into_iter();
+            self.current = bucket.collect_at(self.handle, &self.guard).into_iter();
         }
+    }
+}
+
+/// A snapshot view of a [`VcasHashMap`]: every query on one view observes the same
+/// timestamp across *all* buckets (see [`VcasHashMap::view`] / [`VcasHashMap::view_at`]).
+/// Holds the snapshot pin (when pinned) and one EBR guard for its whole lifetime.
+pub struct VcasHashMapView<'a> {
+    map: &'a VcasHashMap,
+    /// Keeps the snapshot registered with the camera so version-list truncation cannot
+    /// reclaim versions this view may read.
+    _pin: Option<PinnedSnapshot>,
+    handle: Option<SnapshotHandle>,
+    guard: Guard,
+}
+
+impl VcasHashMapView<'_> {
+    /// The value associated with `key` in this view.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        self.map.bucket_of(key).get_at(self.handle, key, &self.guard)
+    }
+
+    /// Looks up every key in `keys` against this view.
+    pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        keys.iter().map(|&k| self.get(k)).collect()
+    }
+
+    /// Iterates this view's pairs lazily, bucket by bucket (unspecified global order).
+    pub fn iter(&self) -> impl Iterator<Item = (Key, Value)> + '_ {
+        SnapshotIter {
+            map: self.map,
+            _pin: None,
+            handle: self.handle,
+            guard: pin(),
+            next_bucket: 0,
+            current: Vec::new().into_iter(),
+        }
+    }
+
+    /// Number of keys in this view (per-bucket counting walks; nothing is materialized).
+    pub fn len(&self) -> usize {
+        self.map.buckets.iter().map(|b| b.count_at(self.handle, &self.guard)).sum()
+    }
+
+    /// Does this view contain no keys?
+    pub fn is_empty(&self) -> bool {
+        self.map.buckets.iter().all(|b| b.count_at(self.handle, &self.guard) == 0)
+    }
+
+    /// The snapshot timestamp this view reads at (`None` for a plain-mode view).
+    pub fn timestamp(&self) -> Option<SnapshotHandle> {
+        self.handle
+    }
+}
+
+impl MapSnapshotView for VcasHashMapView<'_> {
+    fn get(&self, key: Key) -> Option<Value> {
+        VcasHashMapView::get(self, key)
+    }
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        VcasHashMapView::multi_get(self, keys)
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(VcasHashMapView::iter(self))
+    }
+    fn len(&self) -> usize {
+        VcasHashMapView::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        VcasHashMapView::is_empty(self)
+    }
+    // range / successors / find_if use the trait's sort-based defaults: "ordered query on
+    // a hash map" is definitionally a full scan.
+    fn timestamp(&self) -> Option<SnapshotHandle> {
+        VcasHashMapView::timestamp(self)
+    }
+}
+
+impl CameraAttached for VcasHashMap {
+    fn attached_camera(&self) -> Option<&Arc<Camera>> {
+        self.camera()
+    }
+}
+
+impl SnapshotSource for VcasHashMap {
+    fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(self.view())
+    }
+    fn view_at(&self, handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(VcasHashMap::view_at(self, handle))
     }
 }
 
@@ -210,10 +334,9 @@ impl ConcurrentMap for VcasHashMap {
     }
 }
 
+/// `multi_get` and `snapshot_len` come from the trait's view-based defaults; only the
+/// lazy per-bucket iterator is structure-specific.
 impl SnapshotMap for VcasHashMap {
-    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
-        VcasHashMap::multi_get(self, keys)
-    }
     fn snapshot_iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
         Box::new(VcasHashMap::snapshot_iter(self))
     }
@@ -221,33 +344,9 @@ impl SnapshotMap for VcasHashMap {
 
 /// Ordered queries on a hash map scan the whole table (O(buckets + n)); they exist so the
 /// generic workload driver and query harness can drive the hash map, and they are atomic
-/// in versioned mode because the scan reads one snapshot.
-impl AtomicRangeMap for VcasHashMap {
-    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
-        let mut out: Vec<(Key, Value)> =
-            self.snapshot_iter().filter(|(k, _)| (lo..=hi).contains(k)).collect();
-        out.sort_unstable_by_key(|(k, _)| *k);
-        out
-    }
-    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
-        let mut out: Vec<(Key, Value)> = self.snapshot_iter().filter(|(k, _)| *k > key).collect();
-        out.sort_unstable_by_key(|(k, _)| *k);
-        out.truncate(count);
-        out
-    }
-    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
-        if lo >= hi {
-            return None;
-        }
-        // First match in key order, like the ordered structures.
-        self.snapshot_iter()
-            .filter(|(k, _)| (lo..hi).contains(k) && pred(*k))
-            .min_by_key(|(k, _)| *k)
-    }
-    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
-        self.multi_get(keys)
-    }
-}
+/// in versioned mode because each call's view reads one snapshot. All methods are the
+/// trait's view-based defaults (the view's sort-based ordered queries).
+impl AtomicRangeMap for VcasHashMap {}
 
 #[cfg(test)]
 mod tests {

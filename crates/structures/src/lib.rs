@@ -20,14 +20,24 @@
 //!   reader-writer locking for range queries, the SnapTree mechanism), `LockHashMap`
 //!   (reader-writer-locked std hash map, the hash-table comparator), and the non-atomic
 //!   query mode available on every structure (the weakly-consistent-iterator baseline).
+//! * [`view`] — **the primary query surface**: reified snapshot views. Every structure
+//!   implements [`view::SnapshotSource`], whose [`view::MapSnapshotView`]s answer
+//!   arbitrarily many `get` / `range` / `iter` queries at one timestamp, paying for the
+//!   snapshot and EBR pin once per view; [`view::GroupQueryExt`] opens one view per member
+//!   of a [`vcas_core::GroupSnapshot`] at a single shared timestamp (cross-structure
+//!   atomic reads). See `docs/snapshot_views.md`.
 //! * [`queries`] — the multi-point query set of the paper's Table 2 (`range`, `succ`,
-//!   `findif`, `multisearch`) expressed over any [`traits::AtomicRangeMap`], plus the
-//!   hash-map analogues (`multiget4/16`, `scanall`) over any [`traits::SnapshotMap`].
+//!   `findif`, `multisearch`) executed over views ([`queries::run_query_on_view`],
+//!   [`queries::QueryKind::Composed`] batches), the hash-map analogues (`multiget4/16`,
+//!   `scanall`), and cross-structure queries ([`queries::CrossQueryKind`]) over two views
+//!   sharing a timestamp.
 //!
 //! All ordered structures implement [`traits::ConcurrentMap`] (point operations) and, where
 //! supported, [`traits::AtomicRangeMap`] (atomic multi-point queries), which is what the
 //! workload harness in `vcas-workload` drives; unordered structures expose their atomic
-//! batched reads through [`traits::SnapshotMap`].
+//! batched reads through [`traits::SnapshotMap`]. The multi-point methods of both traits
+//! are default methods over [`view::SnapshotSource::snapshot_view`] — one-shot
+//! conveniences around the view API.
 
 #![warn(missing_docs)]
 
@@ -38,6 +48,7 @@ pub mod list;
 pub mod queries;
 pub mod queue;
 pub mod traits;
+pub mod view;
 
 /// Contention backoff for lock-free retry loops; free on the first attempt.
 ///
@@ -77,3 +88,4 @@ pub use list::HarrisList;
 pub use queries::{run_hash_query, run_query, HashQueryKind, QueryKind, QueryOutcome};
 pub use queue::MsQueue;
 pub use traits::{AtomicRangeMap, ConcurrentMap, SnapshotMap};
+pub use view::{BestEffortView, GroupQueryExt, MapSnapshotView, SnapshotSource, StructureGroup};

@@ -11,10 +11,11 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use vcas_core::{Camera, SnapshotHandle, VersionedPtr};
+use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionedPtr};
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
 
 use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, Value};
+use crate::view::{MapSnapshotView, SnapshotSource};
 
 /// Deletion mark stored in the low bit of a node's next pointer.
 const MARK: usize = 1;
@@ -235,12 +236,36 @@ impl HarrisList {
     }
 
     // ----- snapshot queries --------------------------------------------------------------
+    //
+    // Every multi-point query runs against a [`HarrisListView`]: one snapshot, one EBR
+    // pin, arbitrarily many reads. The methods below are batch-of-one conveniences.
 
-    fn view_for_query(&self) -> View {
+    /// Opens a pinned snapshot view of the list's state right now (the primary multi-point
+    /// query surface; see [`crate::view`]). In plain mode the view reads current state.
+    pub fn view(&self) -> HarrisListView<'_> {
         match &self.mode {
-            Mode::Plain => View::Current,
-            Mode::Versioned(camera) => View::Snapshot(camera.take_snapshot()),
+            Mode::Plain => self.current_view(),
+            Mode::Versioned(camera) => {
+                let pinned = camera.pin_snapshot();
+                let view = View::Snapshot(pinned.handle());
+                HarrisListView { list: self, _pin: Some(pinned), view, guard: pin() }
+            }
         }
+    }
+
+    /// Opens a view anchored at `handle` (a timestamp from this list's camera, e.g. a
+    /// [`vcas_core::GroupSnapshot::handle`]). The handle is *not* pinned by the view.
+    /// Best-effort in plain mode.
+    pub fn view_at(&self, handle: SnapshotHandle) -> HarrisListView<'_> {
+        let view = match &self.mode {
+            Mode::Plain => View::Current,
+            Mode::Versioned(_) => View::Snapshot(handle),
+        };
+        HarrisListView { list: self, _pin: None, view, guard: pin() }
+    }
+
+    fn current_view(&self) -> HarrisListView<'_> {
+        HarrisListView { list: self, _pin: None, view: View::Current, guard: pin() }
     }
 
     /// Walks the list in the given view, calling `f` for every unmarked (live) node, stopping
@@ -259,86 +284,41 @@ impl HarrisList {
 
     /// Atomic range query: every `(key, value)` with `lo <= key <= hi`.
     pub fn range_query(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
-        let view = self.view_for_query();
-        let guard = pin();
-        let mut out = Vec::new();
-        self.walk(view, &guard, |k, v| {
-            if k > hi {
-                return false;
-            }
-            if k >= lo {
-                out.push((k, v));
-            }
-            true
-        });
-        out
+        self.view().range(lo, hi)
     }
 
     /// Atomic multi-search: looks up each key in `keys` against one snapshot.
     pub fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
-        let view = self.view_for_query();
-        let guard = pin();
-        let mut sorted: Vec<Key> = keys.to_vec();
-        sorted.sort_unstable();
-        let mut found = std::collections::HashMap::new();
-        let max = sorted.last().copied().unwrap_or(0);
-        self.walk(view, &guard, |k, v| {
-            if sorted.binary_search(&k).is_ok() {
-                found.insert(k, v);
-            }
-            k <= max
-        });
-        keys.iter().map(|k| found.get(k).copied()).collect()
+        self.view().multi_get(keys)
     }
 
     /// Atomic i-th element query (0-based, in key order).
     pub fn ith(&self, i: usize) -> Option<(Key, Value)> {
-        let view = self.view_for_query();
-        let guard = pin();
-        let mut seen = 0usize;
-        let mut out = None;
-        self.walk(view, &guard, |k, v| {
-            if seen == i {
-                out = Some((k, v));
-                return false;
-            }
-            seen += 1;
-            true
-        });
-        out
+        self.view().ith(i)
     }
 
     /// Atomic successors query: the first `count` keys greater than `key`.
     pub fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
-        let view = self.view_for_query();
-        let guard = pin();
-        let mut out = Vec::new();
-        self.walk(view, &guard, |k, v| {
-            if k > key {
-                out.push((k, v));
-            }
-            out.len() < count
-        });
-        out
+        self.view().successors(key, count)
     }
 
     // ----- bucket support (used by `crate::hashmap::VcasHashMap`) ------------------------
     //
     // A hash map's buckets all share one camera, so a cross-bucket query takes a *single*
-    // snapshot and reads every bucket at that handle; the per-query `view_for_query` above
-    // would instead give each bucket its own timestamp. `handle == None` reads the current
-    // state (the plain/non-atomic mode).
+    // snapshot and reads every bucket at that handle; per-bucket views would instead give
+    // each bucket its own timestamp. `handle == None` reads the current state (the
+    // plain/non-atomic mode). The caller supplies the EBR guard so a whole-table query
+    // pins once, not once per bucket.
 
     /// Collects every live `(key, value)` pair as of `handle` (or of the current state when
     /// `handle` is `None`), in key order.
-    pub(crate) fn collect_at(&self, handle: Option<SnapshotHandle>) -> Vec<(Key, Value)> {
-        let view = match handle {
-            Some(h) => View::Snapshot(h),
-            None => View::Current,
-        };
-        let guard = pin();
+    pub(crate) fn collect_at(
+        &self,
+        handle: Option<SnapshotHandle>,
+        guard: &Guard,
+    ) -> Vec<(Key, Value)> {
         let mut out = Vec::new();
-        self.walk(view, &guard, |k, v| {
+        self.walk(Self::handle_view(handle), guard, |k, v| {
             out.push((k, v));
             true
         });
@@ -346,14 +326,14 @@ impl HarrisList {
     }
 
     /// Looks up `key` as of `handle` (or of the current state when `handle` is `None`).
-    pub(crate) fn get_at(&self, handle: Option<SnapshotHandle>, key: Key) -> Option<Value> {
-        let view = match handle {
-            Some(h) => View::Snapshot(h),
-            None => View::Current,
-        };
-        let guard = pin();
+    pub(crate) fn get_at(
+        &self,
+        handle: Option<SnapshotHandle>,
+        key: Key,
+        guard: &Guard,
+    ) -> Option<Value> {
         let mut out = None;
-        self.walk(view, &guard, |k, v| {
+        self.walk(Self::handle_view(handle), guard, |k, v| {
             if k >= key {
                 if k == key {
                     out = Some(v);
@@ -365,26 +345,228 @@ impl HarrisList {
         out
     }
 
+    /// Counts the live keys as of `handle` without materializing them.
+    pub(crate) fn count_at(&self, handle: Option<SnapshotHandle>, guard: &Guard) -> usize {
+        let mut n = 0usize;
+        self.walk(Self::handle_view(handle), guard, |_, _| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    fn handle_view(handle: Option<SnapshotHandle>) -> View {
+        match handle {
+            Some(h) => View::Snapshot(h),
+            None => View::Current,
+        }
+    }
+
     /// Atomic full scan of the list.
     pub fn scan(&self) -> Vec<(Key, Value)> {
-        let view = self.view_for_query();
-        let guard = pin();
+        self.view().scan()
+    }
+
+    /// Number of live keys (counted on one snapshot in versioned mode).
+    pub fn len(&self) -> usize {
+        self.view().len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.view().is_empty()
+    }
+}
+
+/// A snapshot view of a [`HarrisList`]: every query on one view observes the same
+/// timestamp (see [`HarrisList::view`] / [`HarrisList::view_at`]). Holds the snapshot pin
+/// (when pinned) and one EBR guard for its whole lifetime.
+pub struct HarrisListView<'a> {
+    list: &'a HarrisList,
+    /// Keeps the snapshot registered with the camera so version-list truncation cannot
+    /// reclaim versions this view may read.
+    _pin: Option<PinnedSnapshot>,
+    view: View,
+    guard: Guard,
+}
+
+impl HarrisListView<'_> {
+    fn walk(&self, f: impl FnMut(Key, Value) -> bool) {
+        self.list.walk(self.view, &self.guard, f);
+    }
+
+    /// The value associated with `key` in this view.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let mut out = None;
+        self.walk(|k, v| {
+            if k >= key {
+                if k == key {
+                    out = Some(v);
+                }
+                return false;
+            }
+            true
+        });
+        out
+    }
+
+    /// Every `(key, value)` pair with `lo <= key <= hi`, ascending.
+    pub fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
         let mut out = Vec::new();
-        self.walk(view, &guard, |k, v| {
+        self.walk(|k, v| {
+            if k > hi {
+                return false;
+            }
+            if k >= lo {
+                out.push((k, v));
+            }
+            true
+        });
+        out
+    }
+
+    /// Looks up every key in `keys` against this view, in one pass over the list.
+    pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        let mut sorted: Vec<Key> = keys.to_vec();
+        sorted.sort_unstable();
+        let mut found = std::collections::HashMap::new();
+        let max = sorted.last().copied().unwrap_or(0);
+        self.walk(|k, v| {
+            if sorted.binary_search(&k).is_ok() {
+                found.insert(k, v);
+            }
+            k <= max
+        });
+        keys.iter().map(|k| found.get(k).copied()).collect()
+    }
+
+    /// The i-th element of this view (0-based, in key order).
+    pub fn ith(&self, i: usize) -> Option<(Key, Value)> {
+        let mut seen = 0usize;
+        let mut out = None;
+        self.walk(|k, v| {
+            if seen == i {
+                out = Some((k, v));
+                return false;
+            }
+            seen += 1;
+            true
+        });
+        out
+    }
+
+    /// The first `count` pairs with key strictly greater than `key`, ascending.
+    pub fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        self.walk(|k, v| {
+            if k > key {
+                out.push((k, v));
+            }
+            out.len() < count
+        });
+        out
+    }
+
+    /// The first pair in `[lo, hi)` (key order) whose key satisfies `pred`.
+    pub fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if lo >= hi {
+            return None;
+        }
+        let mut out = None;
+        self.walk(|k, v| {
+            if k >= hi {
+                return false;
+            }
+            if k >= lo && pred(k) {
+                out = Some((k, v));
+                return false;
+            }
+            true
+        });
+        out
+    }
+
+    /// Full scan of the view, ascending.
+    pub fn scan(&self) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        self.walk(|k, v| {
             out.push((k, v));
             true
         });
         out
     }
 
-    /// Number of live keys (atomic in versioned mode).
+    /// Number of keys in this view (counting walk; nothing is materialized).
     pub fn len(&self) -> usize {
-        self.scan().len()
+        let mut n = 0usize;
+        self.walk(|_, _| {
+            n += 1;
+            true
+        });
+        n
     }
 
-    /// Is the list empty?
+    /// Does this view contain no keys?
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        let mut any = false;
+        self.walk(|_, _| {
+            any = true;
+            false
+        });
+        !any
+    }
+
+    /// The snapshot timestamp this view reads at (`None` for a current-state view).
+    pub fn timestamp(&self) -> Option<SnapshotHandle> {
+        match self.view {
+            View::Current => None,
+            View::Snapshot(h) => Some(h),
+        }
+    }
+}
+
+impl MapSnapshotView for HarrisListView<'_> {
+    fn get(&self, key: Key) -> Option<Value> {
+        HarrisListView::get(self, key)
+    }
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        HarrisListView::multi_get(self, keys)
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(self.scan().into_iter())
+    }
+    fn len(&self) -> usize {
+        HarrisListView::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        HarrisListView::is_empty(self)
+    }
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        HarrisListView::range(self, lo, hi)
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        HarrisListView::successors(self, key, count)
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        HarrisListView::find_if(self, lo, hi, pred)
+    }
+    fn timestamp(&self) -> Option<SnapshotHandle> {
+        HarrisListView::timestamp(self)
+    }
+}
+
+impl CameraAttached for HarrisList {
+    fn attached_camera(&self) -> Option<&Arc<Camera>> {
+        self.camera()
+    }
+}
+
+impl SnapshotSource for HarrisList {
+    fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(self.view())
+    }
+    fn view_at(&self, handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(HarrisList::view_at(self, handle))
     }
 }
 
@@ -429,23 +611,8 @@ impl ConcurrentMap for HarrisList {
     }
 }
 
-impl AtomicRangeMap for HarrisList {
-    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
-        self.range_query(lo, hi)
-    }
-    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
-        HarrisList::successors(self, key, count)
-    }
-    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
-        if lo >= hi {
-            return None;
-        }
-        self.range_query(lo, hi - 1).into_iter().find(|(k, _)| pred(*k))
-    }
-    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
-        HarrisList::multi_search(self, keys)
-    }
-}
+/// All multi-point queries come from the trait's view-based defaults.
+impl AtomicRangeMap for HarrisList {}
 
 #[cfg(test)]
 mod tests {

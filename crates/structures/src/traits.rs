@@ -1,4 +1,12 @@
 //! Common interfaces implemented by the ordered structures, used by the workload harness.
+//!
+//! Every multi-point query in these traits is a default method that opens one snapshot
+//! view ([`crate::view::SnapshotSource::snapshot_view`]) and delegates to it — the view is
+//! the single implementation of each query; the traits are its batch-of-one convenience
+//! surface. Structures may override a method only to provide a *mechanism* the view cannot
+//! express (the lock- and validation-based baselines do).
+
+use crate::view::SnapshotSource;
 
 /// Keys and values are 64-bit integers throughout the evaluation, matching the paper's
 /// integer-key benchmarks.
@@ -32,38 +40,54 @@ pub trait ConcurrentMap: Send + Sync {
 /// weakly-consistent reads instead — they are the evaluation's non-atomic comparators, and
 /// choosing the plain constructor is the opt-out. Every snapshot-capable constructor
 /// upholds the single-timestamp guarantee.
-pub trait SnapshotMap: ConcurrentMap {
+pub trait SnapshotMap: ConcurrentMap + SnapshotSource {
     /// Looks up every key in `keys` against one snapshot (all lookups observe the same
     /// timestamp).
-    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>>;
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.snapshot_view().multi_get(keys)
+    }
 
     /// Iterates over every `(key, value)` pair live at a single snapshot timestamp, in
-    /// unspecified order.
-    fn snapshot_iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_>;
+    /// unspecified order. The default materializes one view's contents; structures with a
+    /// lazy per-bucket iterator override it.
+    fn snapshot_iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        let view = self.snapshot_view();
+        let pairs: Vec<(Key, Value)> = view.iter().collect();
+        Box::new(pairs.into_iter())
+    }
 
-    /// Number of live keys at a single snapshot timestamp.
+    /// Number of live keys at a single snapshot timestamp. Counts through one view, so no
+    /// boxed iterator is allocated per call.
     fn snapshot_len(&self) -> usize {
-        self.snapshot_iter().count()
+        self.snapshot_view().len()
     }
 }
 
 /// A concurrent ordered map that additionally supports *atomic* multi-point queries
 /// (linearizable range queries and friends).
-pub trait AtomicRangeMap: ConcurrentMap {
+pub trait AtomicRangeMap: ConcurrentMap + SnapshotSource {
     /// Returns every `(key, value)` pair with `lo <= key <= hi`, atomically: the result is
     /// the content of the range at a single point during the call.
-    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)>;
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.snapshot_view().range(lo, hi)
+    }
 
     /// Returns up to `count` `(key, value)` pairs with key strictly greater than `key`, in
     /// ascending order, atomically.
-    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)>;
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        self.snapshot_view().successors(key, count)
+    }
 
     /// Returns the first `(key, value)` pair in `[lo, hi)` whose key satisfies `pred`,
     /// atomically.
-    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)>;
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        self.snapshot_view().find_if(lo, hi, pred)
+    }
 
     /// Looks up every key in `keys` atomically (all lookups observe the same state).
-    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>>;
+    fn multi_search(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.snapshot_view().multi_get(keys)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,228 @@
+//! First-class snapshot views: the primary multi-point query surface.
+//!
+//! The paper's headline API is an explicit two-step protocol — constant-time
+//! `takeSnapshot()` returning a handle, then wait-free `readSnapshot(handle)`. This module
+//! reifies that protocol at the data-structure level: [`SnapshotSource::snapshot_view`]
+//! opens a [`MapSnapshotView`], a read-only handle onto the structure *at one timestamp*.
+//! Every query made through one view observes the same instant, so callers can compose
+//! arbitrarily many `get` / `range` / `iter` calls into one atomic multi-point read — and
+//! pay for the snapshot (and its EBR pin) once per view instead of once per query.
+//!
+//! Three kinds of views exist:
+//!
+//! * **Pinned views** ([`SnapshotSource::snapshot_view`]) register their timestamp with the
+//!   camera ([`vcas_core::Camera::pin_snapshot`]), so version-list truncation
+//!   (`collect_versions`) can never reclaim a version the view may still read. This is the
+//!   default and the only safe choice for long-lived views.
+//! * **Raw-handle views** ([`SnapshotSource::view_at`]) anchor at a caller-supplied
+//!   [`SnapshotHandle`] without pinning it. They are how [`GroupSnapshot`] opens one view
+//!   per member at a *single shared timestamp* (the group's own pin keeps the handle safe);
+//!   used standalone they are only safe while nothing truncates version lists.
+//! * **Best-effort views** ([`BestEffortView`], returned by the baseline comparators)
+//!   delegate every call to the structure's current state. Each *individual* call keeps
+//!   whatever atomicity the baseline's mechanism provides (double-collect validation,
+//!   exclusive locking), but two calls on the same view may observe different states.
+//!
+//! See `docs/snapshot_views.md` for the lifetime rules and the cross-structure consistency
+//! story.
+
+use vcas_core::{CameraAttached, CameraGroup, GroupSnapshot, SnapshotHandle};
+
+use crate::traits::{AtomicRangeMap, Key, Value};
+
+/// A read-only view of a map at (ideally) a single snapshot timestamp.
+///
+/// Ordered structures answer `range` / `successors` / `find_if` with pruned traversals;
+/// unordered structures inherit the default implementations, which scan [`MapSnapshotView::iter`]
+/// and sort — the hash-map analogue of an ordered query. Every method of one view observes
+/// the same timestamp whenever [`MapSnapshotView::timestamp`] is `Some`; best-effort views
+/// return `None` there and make no cross-call guarantee.
+pub trait MapSnapshotView {
+    /// The value associated with `key` in this view.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Does this view contain `key`?
+    fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Looks up every key in `keys` against this view.
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        keys.iter().map(|&k| self.get(k)).collect()
+    }
+
+    /// Iterates over every `(key, value)` pair live in this view. Ordered structures yield
+    /// ascending key order; unordered structures yield an unspecified order.
+    fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_>;
+
+    /// Number of live keys in this view.
+    fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Does this view contain no keys?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every `(key, value)` pair with `lo <= key <= hi`, in ascending key order.
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        let mut out: Vec<(Key, Value)> =
+            self.iter().filter(|(k, _)| (lo..=hi).contains(k)).collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Up to `count` `(key, value)` pairs with key strictly greater than `key`, ascending.
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        let mut out: Vec<(Key, Value)> = self.iter().filter(|(k, _)| *k > key).collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out.truncate(count);
+        out
+    }
+
+    /// The first `(key, value)` pair in `[lo, hi)` (key order) whose key satisfies `pred`.
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if lo >= hi {
+            return None;
+        }
+        self.iter().filter(|(k, _)| (lo..hi).contains(k) && pred(*k)).min_by_key(|(k, _)| *k)
+    }
+
+    /// The snapshot timestamp this view is anchored at, or `None` for a best-effort view
+    /// (which reads current state and makes no cross-call guarantee).
+    fn timestamp(&self) -> Option<SnapshotHandle>;
+}
+
+/// A structure that can open snapshot views of itself (see module docs).
+///
+/// Object-safe, like the other structure traits, so the workload harness can hold
+/// heterogeneous sources; the supertrait lets a [`CameraGroup`] validate that every
+/// versioned member shares its camera.
+pub trait SnapshotSource: CameraAttached {
+    /// Opens a *pinned* view of the structure's state right now. Valid until dropped, even
+    /// across version-list truncation; drop it promptly anyway — while alive it also holds
+    /// an EBR pin, delaying memory reclamation.
+    fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_>;
+
+    /// Opens a view anchored at `handle`, a timestamp previously taken from this
+    /// structure's camera — typically [`GroupSnapshot::handle`], whose pin keeps the handle
+    /// safe. The returned view does **not** pin the handle itself. Structures without a
+    /// camera ignore the handle and return a best-effort view.
+    fn view_at(&self, handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_>;
+}
+
+/// A [`CameraGroup`] over heterogeneous map structures — the usual way to set up
+/// cross-structure atomic reads (see [`GroupQueryExt`]).
+pub type StructureGroup = CameraGroup<dyn SnapshotSource>;
+
+/// Per-member views of a [`GroupSnapshot`]: every view is anchored at the snapshot's one
+/// shared timestamp, so reads across *different structures* are mutually consistent.
+///
+/// The returned views borrow the snapshot, so they cannot outlive its pin — the lifetime
+/// rule that makes raw-handle views safe here.
+pub trait GroupQueryExt {
+    /// Opens the `index`-th member's view at the group's shared timestamp.
+    fn view_of(&self, index: usize) -> Box<dyn MapSnapshotView + '_>;
+
+    /// Opens one view per member, in registration order, all at the shared timestamp.
+    fn views(&self) -> Vec<Box<dyn MapSnapshotView + '_>>;
+}
+
+impl GroupQueryExt for GroupSnapshot<dyn SnapshotSource> {
+    fn view_of(&self, index: usize) -> Box<dyn MapSnapshotView + '_> {
+        self.member(index).view_at(self.handle())
+    }
+
+    fn views(&self) -> Vec<Box<dyn MapSnapshotView + '_>> {
+        (0..self.len()).map(|i| self.view_of(i)).collect()
+    }
+}
+
+/// The view of a structure with no snapshot mechanism: every call reads the *current*
+/// state through the structure's own (per-call) atomicity mechanism. Returned by the
+/// baseline comparators (`DcBst`, `LockBst`, `LockHashMap`) so harnesses mixing them with
+/// vCAS structures can still talk views everywhere.
+///
+/// Implementation invariant: this type delegates to the [`AtomicRangeMap`] trait methods,
+/// so a structure handing out `BestEffortView`s must provide concrete implementations of
+/// those methods (never the view-based defaults, which would recurse).
+pub struct BestEffortView<'a> {
+    map: &'a dyn AtomicRangeMap,
+}
+
+impl<'a> BestEffortView<'a> {
+    /// Wraps `map`; see the type-level invariant.
+    pub fn new(map: &'a dyn AtomicRangeMap) -> BestEffortView<'a> {
+        BestEffortView { map }
+    }
+}
+
+impl MapSnapshotView for BestEffortView<'_> {
+    fn get(&self, key: Key) -> Option<Value> {
+        self.map.get(key)
+    }
+
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        self.map.multi_search(keys)
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(self.map.range(0, Key::MAX).into_iter())
+    }
+
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.map.range(lo, hi)
+    }
+
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        self.map.successors(key, count)
+    }
+
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        self.map.find_if(lo, hi, pred)
+    }
+
+    fn timestamp(&self) -> Option<SnapshotHandle> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_traits_are_object_safe() {
+        fn _takes_view(_: &dyn MapSnapshotView) {}
+        fn _takes_source(_: &dyn SnapshotSource) {}
+    }
+
+    #[test]
+    fn default_ordered_queries_sort_an_unordered_iter() {
+        // A stub view yielding pairs out of order must still answer ordered queries in key
+        // order through the trait defaults.
+        struct Stub;
+        impl MapSnapshotView for Stub {
+            fn get(&self, key: Key) -> Option<Value> {
+                [(5u64, 50u64), (1, 10), (3, 30)].iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+            }
+            fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+                Box::new([(5u64, 50u64), (1, 10), (3, 30)].into_iter())
+            }
+            fn timestamp(&self) -> Option<SnapshotHandle> {
+                None
+            }
+        }
+        let v = Stub;
+        assert_eq!(v.range(1, 4), vec![(1, 10), (3, 30)]);
+        assert_eq!(v.successors(1, 1), vec![(3, 30)]);
+        assert_eq!(v.find_if(0, 10, &|k| k > 1), Some((3, 30)));
+        assert_eq!(v.multi_get(&[3, 4]), vec![Some(30), None]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert!(v.contains(5));
+        assert!(!v.contains(2));
+        assert_eq!(v.find_if(5, 5, &|_| true), None);
+    }
+}

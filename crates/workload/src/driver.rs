@@ -7,9 +7,12 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use vcas_structures::queries::{run_cross_query, run_query_on_view, CrossQueryKind, QueryKind};
 use vcas_structures::traits::{AtomicRangeMap, Key, SnapshotMap};
+use vcas_structures::view::{GroupQueryExt, SnapshotSource, StructureGroup};
+use vcas_structures::{Nbbst, VcasHashMap};
 
-use crate::spec::{HashMapScenario, WorkloadSpec};
+use crate::spec::{ComposedScenario, HashMapScenario, WorkloadSpec};
 
 /// Result of a timed run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -242,6 +245,139 @@ pub fn run_dedicated(
     }
 }
 
+/// Result of a `composed` scenario run (see [`run_composed`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ComposedResult {
+    /// Throughput of the update threads (inserts + deletes across both structures).
+    pub updates: Throughput,
+    /// Throughput of the query threads, counted in *individual* queries (each composed
+    /// sub-query and each cross-structure query is one operation).
+    pub queries: Throughput,
+    /// Number of group snapshots taken — i.e. how many view batches the query throughput
+    /// was amortized over.
+    pub snapshots: u64,
+}
+
+/// Runs the `composed` scenario: view-driven query execution against an [`Nbbst`] and a
+/// [`VcasHashMap`] that share one camera, under concurrent updaters.
+///
+/// `update_threads` threads perform 50% inserts / 50% deletes, alternating between the
+/// two structures; `query_threads` threads repeatedly take **one group snapshot**
+/// ([`StructureGroup::snapshot`]), open one view per structure at the shared timestamp,
+/// and run `scenario.queries_per_view` Table-2 sub-queries on the tree view
+/// ([`QueryKind::Composed`]) plus `scenario.cross_per_snapshot` cross-structure queries
+/// ([`CrossQueryKind`]) over both views — so the snapshot and EBR pin are amortized over
+/// the whole batch.
+///
+/// Panics if the structures are unversioned or do not share a camera.
+pub fn run_composed(
+    tree: Arc<Nbbst>,
+    map: Arc<VcasHashMap>,
+    spec: &WorkloadSpec,
+    scenario: &ComposedScenario,
+    update_threads: usize,
+    query_threads: usize,
+) -> ComposedResult {
+    let camera = tree.camera().expect("composed scenario needs a versioned BST").clone();
+    let mut group: StructureGroup = StructureGroup::new(camera);
+    let tree_idx = group
+        .register(tree.clone() as Arc<dyn SnapshotSource>)
+        .expect("tree must share the group camera");
+    let map_idx = group
+        .register(map.clone() as Arc<dyn SnapshotSource>)
+        .expect("composed scenario needs tree and hash map on one camera");
+    let group = Arc::new(group);
+
+    // Prefill each structure to half the target size (distinct seeds so the two halves
+    // draw different key sets).
+    let half_spec = WorkloadSpec { initial_size: spec.initial_size / 2, ..spec.clone() };
+    prefill(tree.as_ref(), &half_spec);
+    prefill_with(|k, v| map.insert(k, v), &half_spec.clone().with_seed(spec.seed ^ 0x5EED));
+
+    let key_range = spec.key_range();
+    let stop = Arc::new(AtomicBool::new(false));
+    let update_ops = Arc::new(AtomicU64::new(0));
+    let query_ops = Arc::new(AtomicU64::new(0));
+    let snapshots = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..update_threads {
+        let (tree, map) = (tree.clone(), map.clone());
+        let stop = stop.clone();
+        let update_ops = update_ops.clone();
+        let seed = spec.seed + t as u64;
+        let skew = spec.skew;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = skew.sample(&mut rng, key_range);
+                let target_tree = rng.gen_bool(0.5);
+                let insert = rng.gen_bool(0.5);
+                match (target_tree, insert) {
+                    (true, true) => drop(tree.insert(key, key)),
+                    (true, false) => drop(tree.remove(key)),
+                    (false, true) => drop(map.insert(key, key)),
+                    (false, false) => drop(map.remove(key)),
+                }
+                ops += 1;
+            }
+            update_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+    for t in 0..query_threads {
+        let group = group.clone();
+        let stop = stop.clone();
+        let query_ops = query_ops.clone();
+        let snapshots = snapshots.clone();
+        let seed = spec.seed + 2000 + t as u64;
+        let scenario = *scenario;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mut ops, mut snaps) = (0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let anchor = rng.gen_range(1..=key_range);
+                let snap = group.snapshot();
+                let tree_view = snap.view_of(tree_idx);
+                let map_view = snap.view_of(map_idx);
+                std::hint::black_box(run_query_on_view(
+                    tree_view.as_ref(),
+                    QueryKind::Composed { n: scenario.queries_per_view },
+                    anchor,
+                    key_range,
+                ));
+                for i in 0..scenario.cross_per_snapshot {
+                    let kinds = CrossQueryKind::all();
+                    std::hint::black_box(run_cross_query(
+                        map_view.as_ref(),
+                        tree_view.as_ref(),
+                        kinds[i % kinds.len()],
+                        anchor,
+                        key_range,
+                    ));
+                }
+                ops += (scenario.queries_per_view + scenario.cross_per_snapshot) as u64;
+                snaps += 1;
+            }
+            query_ops.fetch_add(ops, Ordering::Relaxed);
+            snapshots.fetch_add(snaps, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(spec.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        join_worker(h, spec);
+    }
+    let elapsed = start.elapsed();
+    vcas_ebr::flush();
+    ComposedResult {
+        updates: Throughput { operations: update_ops.load(Ordering::Relaxed), elapsed },
+        queries: Throughput { operations: query_ops.load(Ordering::Relaxed), elapsed },
+        snapshots: snapshots.load(Ordering::Relaxed),
+    }
+}
+
 /// The sorted-insertion workload of Fig. 2i: an ascending key sequence is split into chunks
 /// of 1024 keys placed on a global work queue; threads grab chunks and insert them. Returns
 /// the insert throughput (keys inserted per second over the whole run).
@@ -363,6 +499,34 @@ mod tests {
                 spec.seed
             );
         }
+    }
+
+    #[test]
+    fn composed_run_reports_queries_and_snapshots() {
+        use crate::spec::ComposedScenario;
+        let camera = vcas_core::Camera::new();
+        let tree = Arc::new(Nbbst::new_versioned(&camera));
+        let map = Arc::new(VcasHashMap::new_versioned(&camera, 64));
+        let mut spec = WorkloadSpec::new(2, 200, Mix::update_heavy());
+        spec.duration_ms = 50;
+        let scenario = ComposedScenario { queries_per_view: 8, cross_per_snapshot: 2 };
+        let r = run_composed(tree, map, &spec, &scenario, 1, 1);
+        assert!(r.updates.operations > 0, "no updates completed (seed={:#x})", spec.seed);
+        assert!(r.queries.operations > 0, "no queries completed (seed={:#x})", spec.seed);
+        assert!(r.snapshots > 0, "no group snapshots taken (seed={:#x})", spec.seed);
+        // Each snapshot amortizes the configured batch of queries.
+        assert_eq!(r.queries.operations, r.snapshots * 10, "seed={:#x}", spec.seed);
+        // No view is left open after the run: nothing remains pinned.
+        assert_eq!(camera.pinned_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one camera")]
+    fn composed_run_rejects_mismatched_cameras() {
+        let tree = Arc::new(Nbbst::new_versioned_default());
+        let map = Arc::new(VcasHashMap::new_versioned_default());
+        let spec = WorkloadSpec::new(1, 10, Mix::update_heavy());
+        let _ = run_composed(tree, map, &spec, &ComposedScenario::default(), 0, 0);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * the `hashmap` scenario ([`run_hashmap`]): the mixed workload driven against an
 //!   unordered [`vcas_structures::SnapshotMap`], with atomic `multi_get` batches in the
 //!   range-query slot, a configurable table load factor ([`HashMapScenario`]) and
-//!   configurable key skew ([`KeySkew`]).
+//!   configurable key skew ([`KeySkew`]);
+//! * the `composed` scenario ([`run_composed`]): view-driven query execution against a
+//!   BST and a hash map sharing one camera — each query thread takes one group snapshot,
+//!   opens one view per structure at the shared timestamp, and amortizes a whole batch of
+//!   Table-2 and cross-structure queries over it ([`ComposedScenario`]).
 //!
 //! Throughput is reported in operations per second ([`Throughput`]). All randomness
 //! derives from [`WorkloadSpec::seed`] (default [`spec::DEFAULT_SEED`]), so runs are
@@ -27,6 +31,7 @@ pub mod driver;
 pub mod spec;
 
 pub use driver::{
-    run_dedicated, run_hashmap, run_mixed, run_sorted_insert, DedicatedResult, Throughput,
+    run_composed, run_dedicated, run_hashmap, run_mixed, run_sorted_insert, ComposedResult,
+    DedicatedResult, Throughput,
 };
-pub use spec::{HashMapScenario, KeySkew, Mix, WorkloadSpec};
+pub use spec::{ComposedScenario, HashMapScenario, KeySkew, Mix, WorkloadSpec};

@@ -74,6 +74,26 @@ impl HashMapScenario {
     }
 }
 
+/// Parameters of the `composed` workload scenario: view-driven query execution against a
+/// BST and a hash map sharing one camera (see `driver::run_composed`). Each query thread
+/// repeatedly takes one *group snapshot*, opens one view per structure at the shared
+/// timestamp, and amortizes a batch of queries over those views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComposedScenario {
+    /// Number of Table-2 sub-queries run against each opened tree view
+    /// (`QueryKind::Composed { n }`).
+    pub queries_per_view: usize,
+    /// Number of cross-structure queries (hash map + BST at the shared timestamp) run per
+    /// group snapshot.
+    pub cross_per_snapshot: usize,
+}
+
+impl Default for ComposedScenario {
+    fn default() -> Self {
+        ComposedScenario { queries_per_view: 16, cross_per_snapshot: 2 }
+    }
+}
+
 /// An operation mix, as percentages of insert / delete / find / range-query.
 ///
 /// The percentages must sum to 100; whatever is left after `insert + delete + range` is the
