@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use vcas_core::{Camera, DirectVersionedPtr, VersionInfo, VersionedNode, VersionedPtr};
+use vcas_core::{
+    Camera, DirectVersionedPtr, ReclaimPolicy, VersionInfo, VersionedNode, VersionedPtr,
+};
 use vcas_ebr::{pin, Owned};
 use vcas_structures::queries::{run_query, run_query_on_view, QueryKind};
 use vcas_structures::{Nbbst, VcasHashMap};
@@ -146,9 +148,44 @@ fn bench_view_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// What automatic version-list reclamation costs the update path: the identical
+/// insert/remove toggle on a versioned BST with reclamation off, driven by amortized
+/// update hooks, and delegated to a background collector thread. `none` leaks version
+/// history for the whole measurement (the bug the reclaim subsystem fixes), so its
+/// per-op time also drifts upward as lists lengthen.
+fn bench_reclaim_ablation(c: &mut Criterion) {
+    const SIZE: u64 = 4_096;
+    let mut group = c.benchmark_group("reclaim_ablation");
+    for policy in [
+        ReclaimPolicy::Disabled,
+        ReclaimPolicy::Amortized { every_n_updates: 128, budget: 64 },
+        ReclaimPolicy::Background { interval_ms: 2, budget: 512 },
+    ] {
+        let camera = Camera::new();
+        let tree = std::sync::Arc::new(Nbbst::new_versioned(&camera));
+        camera.register_collectible(&tree);
+        let collector = policy.install(&camera);
+        for k in vcas_bench::shuffled_keys(SIZE) {
+            tree.insert(k, k);
+        }
+        let mut key = 1u64;
+        group.bench_with_input(BenchmarkId::new("insert_remove", policy.label()), &(), |b, _| {
+            b.iter(|| {
+                key = (key * 6364136223846793005).wrapping_add(1) % (2 * SIZE);
+                let key = key.max(1);
+                if !tree.insert(key, key) {
+                    tree.remove(key);
+                }
+            })
+        });
+        drop(collector);
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_indirect_vs_direct, bench_hashmap_versioning_overhead, bench_view_reuse
+    targets = bench_indirect_vs_direct, bench_hashmap_versioning_overhead, bench_view_reuse, bench_reclaim_ablation
 }
 criterion_main!(ablation);

@@ -14,13 +14,13 @@
 use std::io::Write as _;
 use std::sync::Arc;
 
-use vcas_core::Camera;
+use vcas_core::{Camera, ReclaimPolicy};
 use vcas_structures::queries::{run_query, HashQueryKind, QueryKind};
 use vcas_structures::traits::AtomicRangeMap;
 use vcas_structures::{DcBst, HarrisList, LockBst, Nbbst, VcasHashMap};
 use vcas_workload::{
-    run_composed, run_hashmap, run_mixed, ComposedScenario, HashMapScenario, KeySkew, Mix,
-    WorkloadSpec,
+    run_composed, run_hashmap, run_mixed, run_reclaim, ComposedScenario, HashMapScenario, KeySkew,
+    Mix, ReclaimScenario, WorkloadSpec,
 };
 
 use crate::experiments::{fresh_hashmap, HASHMAP_CONTENDERS};
@@ -180,6 +180,21 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
     );
     rows.push(SmokeRow { id: "composed/VcasGroup".to_string(), mops: r.queries.mops() });
 
+    // Reclamation ablation: the identical update-heavy run (writers plus one long-pinned
+    // reader) with reclamation disabled / amortized hooks / background collector. The row
+    // is the writers' throughput — i.e. what automatic reclamation costs the update path.
+    // `run_reclaim` also asserts the frozen-view and bounded-versions invariants, so CI
+    // *executes* the reclamation subsystem end-to-end on every PR.
+    for policy in [
+        ReclaimPolicy::Disabled,
+        ReclaimPolicy::Amortized { every_n_updates: 128, budget: 64 },
+        ReclaimPolicy::Background { interval_ms: 2, budget: 512 },
+    ] {
+        let scenario = ReclaimScenario { policy, reader_checks: 2 };
+        let r = run_reclaim(&spec(cfg, Mix::update_heavy()), &scenario);
+        rows.push(SmokeRow { id: format!("reclaim/{}", policy.label()), mops: r.updates.mops() });
+    }
+
     rows
 }
 
@@ -254,8 +269,8 @@ mod tests {
     fn smoke_produces_a_row_per_scenario() {
         let rows = run_smoke(&tiny());
         // 6 ordered + 6 hashmap (2 skews x 3 contenders) + 2 query rows
-        // + 2 view-ablation rows + 1 composed row.
-        assert_eq!(rows.len(), 17);
+        // + 2 view-ablation rows + 1 composed row + 3 reclaim rows.
+        assert_eq!(rows.len(), 20);
         let ids: std::collections::HashSet<_> = rows.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids.len(), rows.len(), "duplicate smoke ids");
         // The view-amortization comparison and the cross-structure scenario must land in
@@ -263,6 +278,11 @@ mod tests {
         assert!(ids.contains("view-ablation/per-query-snapshot"));
         assert!(ids.contains("view-ablation/reused-view"));
         assert!(ids.contains("composed/VcasGroup"));
+        // The reclamation ablation must land too (acceptance criterion of the automatic
+        // reclamation subsystem).
+        assert!(ids.contains("reclaim/none"));
+        assert!(ids.contains("reclaim/amortized"));
+        assert!(ids.contains("reclaim/background"));
         for row in &rows {
             assert!(row.mops > 0.0, "{} reported zero throughput", row.id);
         }

@@ -2,10 +2,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
+use vcas_ebr::Guard;
 
+use crate::reclaim::{CollectStats, Collectible, ReclaimState};
 use crate::snapshot::{PinnedSnapshot, SnapshotHandle};
 
 /// A camera object (paper §3, Algorithm 1 lines 1–7).
@@ -28,6 +30,9 @@ pub struct Camera {
     active: Mutex<BTreeMap<u64, usize>>,
     /// Number of take_snapshot calls (diagnostics only).
     snapshots_taken: AtomicU64,
+    /// Automatic version-list reclamation: the collectible registry, amortized-hook knobs,
+    /// and version counters (see [`crate::reclaim`]).
+    reclaim: ReclaimState,
 }
 
 impl Camera {
@@ -37,6 +42,7 @@ impl Camera {
             timestamp: AtomicU64::new(0),
             active: Mutex::new(BTreeMap::new()),
             snapshots_taken: AtomicU64::new(0),
+            reclaim: ReclaimState::new(),
         })
     }
 
@@ -67,11 +73,23 @@ impl Camera {
 
     pub(crate) fn unpin(&self, handle: SnapshotHandle) {
         let mut active = self.active.lock();
-        if let Some(count) = active.get_mut(&handle.raw()) {
-            *count -= 1;
-            if *count == 0 {
-                active.remove(&handle.raw());
+        match active.get_mut(&handle.raw()) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    active.remove(&handle.raw());
+                }
             }
+            // An unpin with no matching registry entry means pin/unpin accounting went
+            // wrong somewhere (e.g. a double unpin): silently ignoring it would let
+            // `min_active` advance past a snapshot a reader still holds. Loudly reject it
+            // in debug builds; in release the unpin is dropped, which can only *delay*
+            // truncation, never unleash it early.
+            None => debug_assert!(
+                false,
+                "unpin of unregistered snapshot handle {} (double unpin?)",
+                handle.raw()
+            ),
         }
     }
 
@@ -100,6 +118,124 @@ impl Camera {
     /// Total number of `take_snapshot` calls made on this camera (diagnostic).
     pub fn snapshots_taken(&self) -> u64 {
         self.snapshots_taken.load(Ordering::Relaxed)
+    }
+
+    // ----- automatic version-list reclamation (see [`crate::reclaim`]) -----------------
+
+    /// Registers `member` with this camera's reclamation registry. Registration holds only
+    /// a `Weak` reference: dropping the structure unregisters it automatically.
+    pub fn register_collectible<C: Collectible + 'static>(&self, member: &Arc<C>) {
+        self.reclaim.register(Arc::downgrade(member) as Weak<dyn Collectible>);
+    }
+
+    /// Number of live structures currently registered for reclamation.
+    pub fn registered_collectibles(&self) -> usize {
+        self.reclaim.registered_count()
+    }
+
+    /// The amortized reclamation hook: data structures call this after every successful
+    /// update. Every `every_n_updates`-th call (per the installed
+    /// [`crate::ReclaimPolicy::Amortized`] policy) truncates a bounded slice of the next
+    /// registered structure under the current [`Camera::min_active`]; all other calls are
+    /// two relaxed atomic operations. A no-op unless an amortized policy is installed.
+    pub fn reclaim_tick(&self, guard: &Guard) {
+        if let Some(budget) = self.reclaim.tick() {
+            self.collect_slice(budget, guard);
+        }
+    }
+
+    /// Truncates up to `budget` cells of the *next* registered structure (round-robin)
+    /// under the current [`Camera::min_active`]. Returns what the slice accomplished; a
+    /// pass already in flight on another thread makes this call a no-op.
+    pub fn collect_slice(&self, budget: usize, guard: &Guard) -> CollectStats {
+        self.reclaim.collect_slice(self.min_active(), budget, guard)
+    }
+
+    /// Truncates up to `budget_per_member` cells of *every* registered structure under the
+    /// current [`Camera::min_active`] (one sweep of the background collector). A pass
+    /// already in flight on another thread makes this call a no-op.
+    pub fn collect_all(&self, budget_per_member: usize, guard: &Guard) -> CollectStats {
+        self.reclaim.collect_all(self.min_active(), budget_per_member, guard)
+    }
+
+    /// Repeatedly runs [`Camera::collect_all`] until one *fresh* full pass retires nothing
+    /// — i.e. every version list is as short as the current pin set allows — or
+    /// `max_rounds` passes have run. The returned aggregate's
+    /// [`CollectStats::completed_cycle`] is `true` exactly when quiescence was reached.
+    /// (Stop any background [`crate::Collector`] first: a pass it has in flight makes this
+    /// camera's passes skip.)
+    pub fn collect_to_quiescence(
+        &self,
+        budget_per_member: usize,
+        max_rounds: usize,
+        guard: &Guard,
+    ) -> CollectStats {
+        let mut total = CollectStats::default();
+        // A zero-retirement pass only proves quiescence if it swept the *whole* structure
+        // set — and earlier drivers (hooks, a collector) may have parked resume cursors
+        // mid-structure, making the first pass a tail sweep. A completed pass wraps every
+        // cursor back to the start, so require the zero pass to follow one.
+        let mut fresh_cycle = false;
+        for _ in 0..max_rounds {
+            let pass = self.collect_all(budget_per_member, guard);
+            total.cells_visited += pass.cells_visited;
+            total.versions_retired += pass.versions_retired;
+            if fresh_cycle && pass.completed_cycle && pass.versions_retired == 0 {
+                total.completed_cycle = true;
+                return total;
+            }
+            fresh_cycle = pass.completed_cycle;
+        }
+        total
+    }
+
+    /// Total version nodes retired through truncation on this camera
+    /// ([`crate::VersionedCas::collect_before`]) — a pure signal of the reclamation
+    /// drivers (hooks, collector, manual sweeps); versions freed with their cell are
+    /// counted separately ([`Camera::versions_dropped`]).
+    pub fn versions_retired(&self) -> u64 {
+        self.reclaim.retired()
+    }
+
+    /// Total version nodes freed because their cell was destroyed: an unlinked node
+    /// reclaimed by its structure, a node never published after a failed CAS, or a whole
+    /// structure dropped.
+    pub fn versions_dropped(&self) -> u64 {
+        self.reclaim.dropped()
+    }
+
+    /// Total version nodes ever created on this camera (initial versions plus successful
+    /// CASes).
+    pub fn versions_created(&self) -> u64 {
+        self.reclaim.created()
+    }
+
+    /// Approximate number of live (retained) versions across every versioned CAS object on
+    /// this camera: versions created minus versions retired minus versions dropped. The
+    /// counters are relaxed and cell destruction is counted when the (possibly
+    /// epoch-deferred) destructor actually runs, so use it for monitoring and boundedness
+    /// checks, not exact accounting.
+    pub fn approx_live_versions(&self) -> u64 {
+        self.reclaim
+            .created()
+            .saturating_sub(self.reclaim.retired())
+            .saturating_sub(self.reclaim.dropped())
+    }
+
+    pub(crate) fn set_amortized_reclaim(&self, every_n_updates: u64, budget: usize) {
+        self.reclaim.set_amortized(every_n_updates, budget);
+    }
+
+    pub(crate) fn note_versions_created(&self, n: u64) {
+        self.reclaim.note_created(n);
+    }
+
+    pub(crate) fn note_versions_retired(&self, n: u64) {
+        self.reclaim.note_retired(n);
+    }
+
+    pub(crate) fn note_versions_dropped(&self, n: u64) {
+        self.reclaim.note_dropped(n);
     }
 }
 
@@ -153,6 +289,32 @@ mod tests {
         assert_eq!(cam.pinned_count(), 1);
         drop(b);
         assert_eq!(cam.pinned_count(), 0);
+    }
+
+    /// Regression test for the silent-unpin bug: interleaved pins (including duplicates on
+    /// one timestamp) and drops must conserve the pin count exactly — every pin is matched
+    /// by one unpin, and the registry ends empty with `min_active` released.
+    #[test]
+    fn pin_unpin_counts_stay_conserved() {
+        let cam = Camera::new();
+        let mut pins = Vec::new();
+        for round in 0..4 {
+            // Two pins land on the same handle (no snapshot taken in between the lock is
+            // released), plus one on a later timestamp.
+            pins.push(cam.pin_snapshot());
+            pins.push(cam.pin_snapshot());
+            let _ = cam.take_snapshot();
+            pins.push(cam.pin_snapshot());
+            assert_eq!(cam.pinned_count(), 3 * (round + 1));
+        }
+        // Drop in an order that interleaves duplicate and unique handles.
+        while let Some(pin) = pins.pop() {
+            let before = cam.pinned_count();
+            drop(pin);
+            assert_eq!(cam.pinned_count(), before - 1, "each unpin releases exactly one pin");
+        }
+        assert_eq!(cam.pinned_count(), 0);
+        assert_eq!(cam.min_active(), cam.current_timestamp(), "registry fully drained");
     }
 
     #[test]

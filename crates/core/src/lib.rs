@@ -26,6 +26,11 @@
 //!   support for Harris-style marking.
 //! * [`PinnedSnapshot`] and per-camera snapshot registries, so version lists can be truncated
 //!   ([`VersionedCas::collect_before`]) once no pinned snapshot can still need old versions.
+//! * [`reclaim`] — the *automatic* reclamation subsystem: structures register as
+//!   [`Collectible`]s on their camera, and a [`ReclaimPolicy`] drives bounded truncation
+//!   either from the structures' own update paths (amortized hooks) or from a background
+//!   [`Collector`] thread, with progress counters surfaced through [`Camera`]
+//!   (see `docs/reclamation.md`).
 //! * [`CameraGroup`] — a camera plus the structures registered on it; one
 //!   [`CameraGroup::snapshot`] pins a single timestamp under which *every* member can be
 //!   queried, the substrate for cross-structure atomic reads (the data-structure layer turns
@@ -60,6 +65,7 @@
 pub mod camera;
 pub mod direct;
 pub mod group;
+pub mod reclaim;
 pub mod snapshot;
 pub mod versioned;
 pub mod versioned_ptr;
@@ -68,6 +74,7 @@ pub mod vnode;
 pub use camera::Camera;
 pub use direct::{DirectVersionedPtr, VersionInfo, VersionedNode};
 pub use group::{CameraAttached, CameraGroup, GroupRegisterError, GroupSnapshot};
+pub use reclaim::{CollectStats, Collectible, Collector, ReclaimPolicy, VersionStats};
 pub use snapshot::{PinnedSnapshot, SnapshotHandle};
 pub use versioned::VersionedCas;
 pub use versioned_ptr::VersionedPtr;

@@ -1,0 +1,608 @@
+//! Automatic version-list reclamation: the collectible registry, reclaim policies, and the
+//! background collector.
+//!
+//! The paper's snapshot scheme only stays practical if version lists are truncated below the
+//! oldest live snapshot ([`crate::VersionedCas::collect_before`], driven by
+//! [`Camera::min_active`]). Truncation is a *primitive*, though — something has to call it,
+//! continuously, against every cell of every structure on the camera, or an update-heavy run
+//! leaks memory linearly. This module turns the primitive into a subsystem:
+//!
+//! * **[`Collectible`]** — implemented by every vCAS data structure. A collectible can
+//!   truncate a *bounded slice* of its cells' version lists per call
+//!   ([`Collectible::collect_bounded`]), resuming where the previous call stopped, so
+//!   reclamation work is incremental and never stalls an update for the whole structure.
+//!   (The registry holds structures, not individual cells: cells live inside nodes whose
+//!   lifetime is managed by epoch-based reclamation, so a cell-granular registry would
+//!   dangle the moment a node is retired. A structure can always enumerate its *live*
+//!   cells.)
+//! * **Per-camera registry** — [`Camera::register_collectible`] attaches a structure (by
+//!   `Weak` reference; dropping the structure unregisters it automatically). All reclamation
+//!   drivers walk this registry.
+//! * **[`ReclaimPolicy`]** — how the registry is driven:
+//!   [`ReclaimPolicy::Amortized`] piggybacks on the structures' own update paths (every N
+//!   successful updates, the updating thread truncates a bounded slice — see
+//!   [`Camera::reclaim_tick`]); [`ReclaimPolicy::Background`] runs a dedicated
+//!   [`Collector`] thread with a start/stop lifecycle, for long-running services that want
+//!   update latency untouched. [`ReclaimPolicy::install`] wires either up.
+//! * **Counters** — [`Camera::versions_retired`] and [`Camera::approx_live_versions`]
+//!   surface reclamation progress for monitoring and tests.
+//!
+//! See `docs/reclamation.md` for the policy trade-offs and the memory model of truncation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use vcas_ebr::Guard;
+
+use crate::camera::Camera;
+
+/// What one bounded collection call accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectStats {
+    /// Number of versioned cells whose lists were examined (and truncated where possible).
+    pub cells_visited: usize,
+    /// Number of version nodes retired to epoch-based reclamation.
+    pub versions_retired: usize,
+    /// `true` if the call reached the end of the structure (the next call starts a fresh
+    /// sweep from the beginning); `false` if it stopped early on the budget.
+    pub completed_cycle: bool,
+}
+
+impl CollectStats {
+    /// Accumulates `other` into `self` (`completed_cycle` is AND-ed: an aggregate pass is
+    /// complete only if every constituent pass was).
+    pub fn merge(&mut self, other: CollectStats) {
+        self.cells_visited += other.cells_visited;
+        self.versions_retired += other.versions_retired;
+        self.completed_cycle &= other.completed_cycle;
+    }
+}
+
+/// Aggregate version-list statistics of a structure (diagnostic; see
+/// [`Collectible::version_stats`]). Not constant time — walks every live cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionStats {
+    /// Number of versioned cells reachable in the structure's current state.
+    pub cells: usize,
+    /// Total retained versions across those cells.
+    pub versions: usize,
+    /// Largest version list among those cells.
+    pub max_versions_per_cell: usize,
+}
+
+impl VersionStats {
+    /// Records one cell holding `versions` retained versions.
+    pub fn record_cell(&mut self, versions: usize) {
+        self.cells += 1;
+        self.versions += versions;
+        self.max_versions_per_cell = self.max_versions_per_cell.max(versions);
+    }
+
+    /// Accumulates `other` into `self` (used by composite structures such as the hash map).
+    pub fn merge(&mut self, other: VersionStats) {
+        self.cells += other.cells;
+        self.versions += other.versions;
+        self.max_versions_per_cell = self.max_versions_per_cell.max(other.max_versions_per_cell);
+    }
+}
+
+/// A structure whose versioned CAS cells can be truncated incrementally.
+///
+/// Implementors keep an internal cursor so that successive [`collect_bounded`] calls sweep
+/// different slices of the structure; a full sweep is signalled by
+/// [`CollectStats::completed_cycle`]. Calls may run concurrently with updates and with each
+/// other (per-cell truncation is already serialized by
+/// [`crate::VersionedCas::collect_before`]), though drivers normally serialize passes.
+///
+/// [`collect_bounded`]: Collectible::collect_bounded
+pub trait Collectible: Send + Sync {
+    /// Truncates the version lists of up to `budget` cells under `min_active` (from
+    /// [`Camera::min_active`]), resuming after the cell where the previous call stopped.
+    fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats;
+
+    /// Walks every cell reachable in the current state and reports version-list sizes
+    /// (diagnostic; used by the reclamation stress tests and the workload driver).
+    fn version_stats(&self, guard: &Guard) -> VersionStats;
+}
+
+/// How automatic reclamation is driven for one camera (see [`ReclaimPolicy::install`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimPolicy {
+    /// No automatic reclamation: version lists grow until collected manually. This is the
+    /// paper's original regime and the right choice for short-lived runs or ablations.
+    Disabled,
+    /// Amortized hooks: every `every_n_updates` successful updates on the camera, the
+    /// updating thread truncates up to `budget` cells of the next registered structure
+    /// (round-robin). Reclamation cost is spread across updaters; no extra threads.
+    Amortized {
+        /// Successful updates between collection slices (0 behaves like [`Disabled`]).
+        ///
+        /// [`Disabled`]: ReclaimPolicy::Disabled
+        every_n_updates: u64,
+        /// Cells truncated per slice.
+        budget: usize,
+    },
+    /// A dedicated background [`Collector`] thread sweeps every registered structure each
+    /// `interval_ms` milliseconds, `budget` cells per structure per wakeup. Update paths
+    /// pay nothing; reclamation keeps up as long as the collector's bandwidth exceeds the
+    /// version production rate.
+    Background {
+        /// Sleep between sweeps, in milliseconds.
+        interval_ms: u64,
+        /// Cells truncated per structure per sweep.
+        budget: usize,
+    },
+}
+
+impl ReclaimPolicy {
+    /// Installs this policy on `camera`: configures the amortized hooks and, for
+    /// [`ReclaimPolicy::Background`], starts (and returns) the collector thread. Keep the
+    /// returned [`Collector`] alive for as long as collection should run; dropping it stops
+    /// the thread.
+    pub fn install(self, camera: &Arc<Camera>) -> Option<Collector> {
+        match self {
+            ReclaimPolicy::Disabled => {
+                camera.set_amortized_reclaim(0, 0);
+                None
+            }
+            ReclaimPolicy::Amortized { every_n_updates, budget } => {
+                camera.set_amortized_reclaim(every_n_updates, budget);
+                None
+            }
+            ReclaimPolicy::Background { interval_ms, budget } => {
+                camera.set_amortized_reclaim(0, 0);
+                Some(Collector::start(camera.clone(), Duration::from_millis(interval_ms), budget))
+            }
+        }
+    }
+
+    /// Compact label for bench output (`none` / `amortized` / `background`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReclaimPolicy::Disabled => "none",
+            ReclaimPolicy::Amortized { .. } => "amortized",
+            ReclaimPolicy::Background { .. } => "background",
+        }
+    }
+}
+
+/// Per-camera reclamation state: the collectible registry, the amortized-hook knobs, and
+/// the version counters. Owned by [`Camera`]; every public entry point is a `Camera`
+/// method.
+pub(crate) struct ReclaimState {
+    /// Registered structures (`Weak`: dropping a structure unregisters it).
+    registry: Mutex<Vec<Weak<dyn Collectible>>>,
+    /// Round-robin cursor over the registry for slice collection.
+    cursor: AtomicUsize,
+    /// Successful updates observed via [`Camera::reclaim_tick`].
+    ticks: AtomicU64,
+    /// Amortized policy: updates between slices (0 = amortized hooks off).
+    every_n: AtomicU64,
+    /// Amortized policy: cells per slice.
+    budget: AtomicUsize,
+    /// Serializes collection passes (concurrent passes would just contend on the same
+    /// per-cell truncation flags; one at a time keeps the amortized cost predictable).
+    collecting: AtomicBool,
+    /// Version nodes ever created on this camera (initial versions + successful CASes).
+    created: AtomicU64,
+    /// Version nodes retired through truncation on this camera.
+    retired: AtomicU64,
+    /// Version nodes freed when their cell was destroyed (unlinked node reclaimed, failed
+    /// publication, or structure drop) — kept separate from `retired` so the truncation
+    /// counter stays a pure signal of the reclamation drivers.
+    dropped: AtomicU64,
+}
+
+impl ReclaimState {
+    pub(crate) fn new() -> ReclaimState {
+        ReclaimState {
+            registry: Mutex::new(Vec::new()),
+            cursor: AtomicUsize::new(0),
+            ticks: AtomicU64::new(0),
+            every_n: AtomicU64::new(0),
+            budget: AtomicUsize::new(0),
+            collecting: AtomicBool::new(false),
+            created: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn note_created(&self, n: u64) {
+        self.created.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_retired(&self, n: u64) {
+        self.retired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_dropped(&self, n: u64) {
+        self.dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn created(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn retired(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_amortized(&self, every_n: u64, budget: usize) {
+        self.every_n.store(every_n, Ordering::Relaxed);
+        self.budget.store(budget, Ordering::Relaxed);
+    }
+
+    pub(crate) fn register(&self, member: Weak<dyn Collectible>) {
+        let mut registry = self.registry.lock();
+        registry.retain(|w| w.strong_count() > 0);
+        registry.push(member);
+    }
+
+    pub(crate) fn registered_count(&self) -> usize {
+        self.registry.lock().iter().filter(|w| w.strong_count() > 0).count()
+    }
+
+    /// Should this tick trigger a collection slice, and with what budget?
+    pub(crate) fn tick(&self) -> Option<usize> {
+        let every_n = self.every_n.load(Ordering::Relaxed);
+        if every_n == 0 {
+            return None;
+        }
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        (tick % every_n == 0).then(|| self.budget.load(Ordering::Relaxed))
+    }
+
+    /// The next registered collectible in round-robin order, pruning dead entries.
+    fn next_member(&self) -> Option<Arc<dyn Collectible>> {
+        let mut registry = self.registry.lock();
+        registry.retain(|w| w.strong_count() > 0);
+        if registry.is_empty() {
+            return None;
+        }
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed) % registry.len();
+        registry[idx].upgrade()
+    }
+
+    /// Every live registered collectible, in registration order.
+    fn members(&self) -> Vec<Arc<dyn Collectible>> {
+        let mut registry = self.registry.lock();
+        registry.retain(|w| w.strong_count() > 0);
+        registry.iter().filter_map(Weak::upgrade).collect()
+    }
+
+    /// Runs `pass` unless another collection pass is already in flight. The in-flight flag
+    /// is cleared through an RAII guard so a panic inside a `Collectible` impl cannot
+    /// permanently disable reclamation on the camera.
+    fn exclusive(&self, pass: impl FnOnce() -> CollectStats) -> CollectStats {
+        struct Flag<'a>(&'a AtomicBool);
+        impl Drop for Flag<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        if self.collecting.swap(true, Ordering::Acquire) {
+            return CollectStats { completed_cycle: false, ..CollectStats::default() };
+        }
+        let _clear = Flag(&self.collecting);
+        pass()
+    }
+
+    pub(crate) fn collect_slice(
+        &self,
+        min_active: u64,
+        budget: usize,
+        guard: &Guard,
+    ) -> CollectStats {
+        self.exclusive(|| match self.next_member() {
+            Some(member) => member.collect_bounded(min_active, budget, guard),
+            None => CollectStats { completed_cycle: true, ..CollectStats::default() },
+        })
+    }
+
+    pub(crate) fn collect_all(
+        &self,
+        min_active: u64,
+        budget_per_member: usize,
+        guard: &Guard,
+    ) -> CollectStats {
+        self.exclusive(|| {
+            let mut stats = CollectStats { completed_cycle: true, ..CollectStats::default() };
+            for member in self.members() {
+                stats.merge(member.collect_bounded(min_active, budget_per_member, guard));
+            }
+            stats
+        })
+    }
+}
+
+/// The background reclamation thread (driver (b) of the reclamation subsystem).
+///
+/// Started by [`Collector::start`] (usually via [`ReclaimPolicy::install`]); sweeps every
+/// structure registered on its camera each interval. Stop it explicitly with
+/// [`Collector::stop`] or implicitly by dropping it — both join the thread, so no sweep is
+/// left mid-flight.
+pub struct Collector {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Collector {
+    /// Spawns a collector over `camera`, sweeping up to `budget` cells per registered
+    /// structure every `interval` (floored at 1ms — a zero interval would busy-spin the
+    /// thread, starving everything else on small machines).
+    pub fn start(camera: Arc<Camera>, interval: Duration, budget: usize) -> Collector {
+        let interval = interval.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("vcas-collector".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    {
+                        let guard = vcas_ebr::pin();
+                        camera.collect_all(budget, &guard);
+                    }
+                    // Push the retired version nodes through the epoch machinery so memory
+                    // is actually returned, not just unlinked.
+                    vcas_ebr::flush();
+                    // Sleep in small steps so stop() stays responsive.
+                    let step = Duration::from_millis(2).min(interval);
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop_flag.load(Ordering::Relaxed) {
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                }
+            })
+            .expect("failed to spawn vcas-collector thread");
+        Collector { stop, handle: Some(handle) }
+    }
+
+    /// Signals the collector thread to exit and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Is the collector thread still running?
+    pub fn is_running(&self) -> bool {
+        self.handle.is_some() && !self.stop.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            if handle.join().is_err() {
+                // Shutdown paths must not panic, but a dead collector means reclamation
+                // silently stopped — say so rather than swallowing it.
+                eprintln!("vcas-collector thread panicked; reclamation had stopped");
+            }
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").field("running", &self.is_running()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VersionedCas;
+    use vcas_ebr::pin;
+
+    /// A collectible wrapping a handful of standalone cells, with a resumable cursor —
+    /// enough to exercise the registry/policy machinery without a full data structure.
+    struct Cells {
+        cells: Vec<VersionedCas<u64>>,
+        cursor: AtomicUsize,
+    }
+
+    impl Cells {
+        fn new(camera: &Arc<Camera>, n: usize) -> Cells {
+            Cells {
+                cells: (0..n as u64).map(|i| VersionedCas::new(i, camera)).collect(),
+                cursor: AtomicUsize::new(0),
+            }
+        }
+
+        fn churn(&self, rounds: u64, guard: &Guard) {
+            for cell in &self.cells {
+                for _ in 0..rounds {
+                    let cur = cell.read(guard);
+                    cell.camera().take_snapshot();
+                    assert!(cell.compare_and_swap(cur, cur + 1, guard));
+                }
+            }
+        }
+    }
+
+    impl Collectible for Cells {
+        fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats {
+            let mut stats = CollectStats::default();
+            let start = self.cursor.load(Ordering::Relaxed);
+            let end = (start + budget.max(1)).min(self.cells.len());
+            for cell in &self.cells[start..end] {
+                stats.versions_retired += cell.collect_before(min_active, guard);
+                stats.cells_visited += 1;
+            }
+            if end == self.cells.len() {
+                self.cursor.store(0, Ordering::Relaxed);
+                stats.completed_cycle = true;
+            } else {
+                self.cursor.store(end, Ordering::Relaxed);
+            }
+            stats
+        }
+
+        fn version_stats(&self, guard: &Guard) -> VersionStats {
+            let mut stats = VersionStats::default();
+            for cell in &self.cells {
+                stats.record_cell(cell.version_count(guard));
+            }
+            stats
+        }
+    }
+
+    #[test]
+    fn registry_drives_bounded_slices_round_robin() {
+        let camera = Camera::new();
+        let cells = Arc::new(Cells::new(&camera, 8));
+        camera.register_collectible(&cells);
+        assert_eq!(camera.registered_collectibles(), 1);
+
+        let guard = pin();
+        cells.churn(10, &guard);
+        assert!(cells.version_stats(&guard).max_versions_per_cell > 10);
+
+        // Three cells per slice: three slices cover all eight cells (the third completes).
+        let s1 = camera.collect_slice(3, &guard);
+        assert_eq!(s1.cells_visited, 3);
+        assert!(!s1.completed_cycle);
+        let s2 = camera.collect_slice(3, &guard);
+        let s3 = camera.collect_slice(3, &guard);
+        assert!(s3.completed_cycle);
+        assert!(s1.versions_retired + s2.versions_retired + s3.versions_retired > 0);
+        let stats = cells.version_stats(&guard);
+        assert_eq!(stats.max_versions_per_cell, 1, "full sweep with no pins leaves one version");
+    }
+
+    /// Regression test: a zero-retirement pass that *resumed from a parked cursor* is a
+    /// tail-only sweep, not proof of quiescence — `collect_to_quiescence` must keep going
+    /// until a fresh full cycle retires nothing.
+    #[test]
+    fn quiescence_is_not_fooled_by_a_parked_cursor() {
+        let camera = Camera::new();
+        let cells = Arc::new(Cells::new(&camera, 8));
+        camera.register_collectible(&cells);
+        let guard = pin();
+        cells.churn(5, &guard);
+        // Clean only the tail (cells 6..8), then park the cursor back there — the state an
+        // amortized driver leaves behind mid-sweep: dirty prefix, clean tail, cursor high.
+        cells.cursor.store(6, Ordering::Relaxed);
+        let tail = cells.collect_bounded(camera.min_active(), 64, &guard);
+        assert!(tail.completed_cycle && tail.versions_retired > 0);
+        cells.cursor.store(6, Ordering::Relaxed);
+
+        // The first pass now completes retiring nothing; quiescence must NOT be declared
+        // until a fresh cycle has swept the dirty prefix too.
+        let total = camera.collect_to_quiescence(64, 16, &guard);
+        assert!(total.completed_cycle, "quiescence must be reached");
+        assert!(total.versions_retired > 0, "the dirty prefix must not be skipped");
+        assert_eq!(cells.version_stats(&guard).max_versions_per_cell, 1);
+    }
+
+    #[test]
+    fn dropping_a_collectible_unregisters_it() {
+        let camera = Camera::new();
+        let cells = Arc::new(Cells::new(&camera, 2));
+        camera.register_collectible(&cells);
+        assert_eq!(camera.registered_collectibles(), 1);
+        drop(cells);
+        assert_eq!(camera.registered_collectibles(), 0);
+        // Collecting over an empty registry is a harmless no-op.
+        let guard = pin();
+        assert!(camera.collect_all(16, &guard).completed_cycle);
+    }
+
+    #[test]
+    fn amortized_policy_collects_from_update_ticks() {
+        let camera = Camera::new();
+        let cells = Arc::new(Cells::new(&camera, 4));
+        camera.register_collectible(&cells);
+        assert!(ReclaimPolicy::Amortized { every_n_updates: 8, budget: 64 }
+            .install(&camera)
+            .is_none());
+
+        let guard = pin();
+        cells.churn(20, &guard);
+        // The churn above produced no ticks (it drives cells directly); replay ticks the
+        // way a structure's update path would.
+        for _ in 0..64 {
+            camera.reclaim_tick(&guard);
+        }
+        assert!(camera.versions_retired() > 0, "amortized ticks must have collected");
+        let stats = cells.version_stats(&guard);
+        assert!(stats.max_versions_per_cell <= 2, "lists must be truncated, got {stats:?}");
+    }
+
+    #[test]
+    fn disabled_policy_never_collects() {
+        let camera = Camera::new();
+        let cells = Arc::new(Cells::new(&camera, 2));
+        camera.register_collectible(&cells);
+        assert!(ReclaimPolicy::Disabled.install(&camera).is_none());
+        let guard = pin();
+        cells.churn(5, &guard);
+        for _ in 0..100 {
+            camera.reclaim_tick(&guard);
+        }
+        assert_eq!(camera.versions_retired(), 0);
+        assert_eq!(cells.version_stats(&guard).max_versions_per_cell, 6);
+    }
+
+    #[test]
+    fn background_collector_truncates_and_stops() {
+        let camera = Camera::new();
+        let cells = Arc::new(Cells::new(&camera, 4));
+        camera.register_collectible(&cells);
+        let collector = ReclaimPolicy::Background { interval_ms: 1, budget: 64 }
+            .install(&camera)
+            .expect("background policy starts a collector");
+        assert!(collector.is_running());
+
+        {
+            let guard = pin();
+            cells.churn(10, &guard);
+        }
+        // Wait (bounded) for the collector to catch up.
+        for _ in 0..500 {
+            if camera.approx_live_versions() <= 2 * 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(camera.versions_retired() > 0, "collector never retired anything");
+        let guard = pin();
+        assert!(cells.version_stats(&guard).max_versions_per_cell <= 2);
+        drop(guard);
+        collector.stop();
+    }
+
+    #[test]
+    fn counters_track_created_and_retired() {
+        let camera = Camera::new();
+        let cell = VersionedCas::new(0u64, &camera);
+        let guard = pin();
+        assert_eq!(camera.approx_live_versions(), 1, "the initial version counts as created");
+        for i in 0..10 {
+            camera.take_snapshot();
+            assert!(cell.compare_and_swap(i, i + 1, &guard));
+        }
+        assert_eq!(camera.approx_live_versions(), 11);
+        let retired = cell.collect_before(camera.min_active(), &guard);
+        assert_eq!(retired as u64, camera.versions_retired());
+        assert_eq!(camera.approx_live_versions(), 11 - retired as u64);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(ReclaimPolicy::Disabled.label(), "none");
+        assert_eq!(ReclaimPolicy::Amortized { every_n_updates: 1, budget: 1 }.label(), "amortized");
+        assert_eq!(ReclaimPolicy::Background { interval_ms: 1, budget: 1 }.label(), "background");
+    }
+}

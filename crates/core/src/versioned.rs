@@ -43,6 +43,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         // Stamp the initial version immediately (constructor runs before any concurrent
         // access, so a plain store of the current timestamp is the paper's initTS).
         node.as_ref().ts.store(camera.current_timestamp(), Ordering::SeqCst);
+        camera.note_versions_created(1);
         VersionedCas {
             head: Atomic::from_owned(node),
             camera: camera.clone(),
@@ -91,6 +92,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         {
             Ok(_) => {
                 self.init_ts(unsafe { new_node.deref() });
+                self.camera.note_versions_created(1);
                 true
             }
             Err(err) => {
@@ -110,22 +112,46 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     /// Wait-free; the number of steps is proportional to the number of successful CASes on
     /// this object whose timestamps exceed `handle`.
     ///
-    /// The paper's precondition is that this object existed before the snapshot was taken.
-    /// If the precondition is violated (or the needed versions have been truncated away
-    /// without the snapshot being pinned), the oldest retained value is returned.
+    /// The paper's precondition is that this object existed before the snapshot was taken
+    /// and that no version the snapshot needs has been truncated away (guaranteed when the
+    /// handle is *pinned*, [`Camera::pin_snapshot`]). If the precondition is violated —
+    /// a raw, unpinned handle older than a [`VersionedCas::collect_before`] cut, or an
+    /// object created after the snapshot — this convenience wrapper falls back to the
+    /// **oldest retained value**. Callers that need to distinguish the fallback use
+    /// [`VersionedCas::read_snapshot_checked`]; see `docs/snapshot_views.md` for the
+    /// raw-vs-pinned handle contract.
     pub fn read_snapshot(&self, handle: SnapshotHandle, guard: &Guard) -> T {
+        match self.read_snapshot_impl(handle, guard) {
+            Ok(exact) | Err(exact) => exact,
+        }
+    }
+
+    /// `readSnapshot(ts)` with a defined out-of-history result: returns `Some(value)` when
+    /// a version with timestamp at or below `handle` is still retained, and `None` when it
+    /// is not — either because the object was created after the snapshot was taken, or
+    /// because the needed version was truncated away while the handle was not pinned.
+    ///
+    /// With a pinned handle ([`Camera::pin_snapshot`]) on an object that predates it, this
+    /// always returns `Some`.
+    pub fn read_snapshot_checked(&self, handle: SnapshotHandle, guard: &Guard) -> Option<T> {
+        self.read_snapshot_impl(handle, guard).ok()
+    }
+
+    /// Walks the version list for the newest version with timestamp `<= handle`:
+    /// `Ok(value)` if found, `Err(oldest_retained_value)` if the list bottoms out first.
+    fn read_snapshot_impl(&self, handle: SnapshotHandle, guard: &Guard) -> Result<T, T> {
         let ts = handle.raw();
         let head = self.head.load(Ordering::SeqCst, guard);
         let mut node = unsafe { head.deref() };
         self.init_ts(node);
         loop {
             if node.ts.load(Ordering::SeqCst) <= ts {
-                return node.val;
+                return Ok(node.val);
             }
             let next = node.nextv.load(Ordering::SeqCst, guard);
             match unsafe { next.as_ref() } {
                 Some(older) => node = older,
-                None => return node.val,
+                None => return Err(node.val),
             }
         }
     }
@@ -196,20 +222,31 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
             }
         }
         self.truncating.store(false, Ordering::Release);
+        if retired > 0 {
+            self.camera.note_versions_retired(retired as u64);
+        }
         retired
     }
 }
 
 impl<T> Drop for VersionedCas<T> {
     fn drop(&mut self) {
-        // Exclusive access: walk the version list and free every node.
+        // Exclusive access: walk the version list and free every node. The freed versions
+        // count toward the camera's retired total — without this, every cell destroyed
+        // through node unlinking (list/BST removes) would leave `approx_live_versions`
+        // drifting upward forever.
+        let mut freed = 0u64;
         unsafe {
             let mut cur = self.head.load_unprotected(Ordering::Relaxed);
             while !cur.is_null() {
                 let next = cur.deref().nextv.load_unprotected(Ordering::Relaxed);
                 drop(cur.into_owned());
+                freed += 1;
                 cur = next;
             }
+        }
+        if freed > 0 {
+            self.camera.note_versions_dropped(freed);
         }
     }
 }
@@ -337,6 +374,49 @@ mod tests {
         assert!(retired2 > 0);
         assert_eq!(v.version_count(&g), 1, "only the newest version remains");
         assert_eq!(v.read(&g), 30);
+    }
+
+    /// Satellite regression: a raw (unpinned) handle whose versions were truncated away
+    /// gets a *defined* `None` from the checked read, while a pinned handle keeps reading
+    /// its exact value; the unchecked read documents its fallback to the oldest retained
+    /// value.
+    #[test]
+    fn checked_snapshot_read_detects_truncated_history() {
+        let cam = Camera::new();
+        let v = VersionedCas::new(0u64, &cam);
+        let g = pin();
+        // Build history 0..=10, remembering a raw handle at value 3.
+        let mut raw_at_3 = None;
+        for i in 0..10u64 {
+            let h = cam.take_snapshot();
+            if i == 3 {
+                raw_at_3 = Some(h);
+            }
+            assert!(v.compare_and_swap(i, i + 1, &g));
+        }
+        let raw_at_3 = raw_at_3.unwrap();
+        assert_eq!(v.read_snapshot_checked(raw_at_3, &g), Some(3));
+
+        // Pin now, keep mutating, then truncate below the pin: the raw handle's versions
+        // are collectible, the pinned handle's are not.
+        let pinned = cam.pin_snapshot();
+        for i in 10..15u64 {
+            cam.take_snapshot();
+            assert!(v.compare_and_swap(i, i + 1, &g));
+        }
+        assert!(v.collect_before(cam.min_active(), &g) > 0);
+
+        assert_eq!(v.read_snapshot_checked(raw_at_3, &g), None, "truncated history is None");
+        assert_eq!(v.read_snapshot_checked(pinned.handle(), &g), Some(10), "pins stay exact");
+        assert_eq!(v.read_snapshot(pinned.handle(), &g), 10);
+        // The unchecked convenience falls back to the oldest retained value, which is the
+        // version the pin preserves.
+        assert_eq!(v.read_snapshot(raw_at_3, &g), 10);
+
+        // An object born after a snapshot also reads as None under that handle.
+        let late = VersionedCas::new(99u64, &cam);
+        assert_eq!(late.read_snapshot_checked(raw_at_3, &g), None);
+        assert_eq!(late.read_snapshot(raw_at_3, &g), 99);
     }
 
     #[test]

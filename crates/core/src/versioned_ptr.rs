@@ -49,8 +49,23 @@ impl<N: 'static> VersionedPtr<N> {
     }
 
     /// `readSnapshot`: the tagged pointer this object held when `handle` was acquired.
+    ///
+    /// Falls back to the oldest retained pointer when the handle's version is out of
+    /// retained history (see [`VersionedCas::read_snapshot`]); use
+    /// [`VersionedPtr::load_snapshot_checked`] to detect that case.
     pub fn load_snapshot<'g>(&self, handle: SnapshotHandle, guard: &'g Guard) -> Shared<'g, N> {
         unsafe { Shared::from_data(self.inner.read_snapshot(handle, guard)) }
+    }
+
+    /// `readSnapshot` with a defined out-of-history result: `None` when no version at or
+    /// below `handle` is retained (raw unpinned handle truncated away, or pointer created
+    /// after the snapshot); see [`VersionedCas::read_snapshot_checked`].
+    pub fn load_snapshot_checked<'g>(
+        &self,
+        handle: SnapshotHandle,
+        guard: &'g Guard,
+    ) -> Option<Shared<'g, N>> {
+        self.inner.read_snapshot_checked(handle, guard).map(|d| unsafe { Shared::from_data(d) })
     }
 
     /// `vCAS`: atomically replaces `current` with `new` if the object still holds `current`.

@@ -21,6 +21,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionedPtr};
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
 
@@ -167,6 +168,9 @@ pub struct Nbbst {
     root: Atomic<Node>,
     mode: Mode,
     updates: AtomicU64,
+    /// Resume key for incremental version-list collection ([`Collectible`]): subtrees whose
+    /// keys all fall below it were covered by the previous bounded pass.
+    reclaim_cursor: AtomicU64,
     label: &'static str,
 }
 
@@ -177,7 +181,13 @@ impl Nbbst {
         let right_leaf = Owned::new(Node::leaf(INF2, 0)).into_shared(&guard);
         let root =
             Node::internal(INF2, ChildPtr::new(&mode, left_leaf), ChildPtr::new(&mode, right_leaf));
-        Nbbst { root: Atomic::new(root), mode, updates: AtomicU64::new(0), label }
+        Nbbst {
+            root: Atomic::new(root),
+            mode,
+            updates: AtomicU64::new(0),
+            reclaim_cursor: AtomicU64::new(0),
+            label,
+        }
     }
 
     /// Creates the original (unversioned) tree — `BST` in the paper's figures.
@@ -212,6 +222,17 @@ impl Nbbst {
     /// Number of successful updates (inserts + removes) applied so far.
     pub fn update_count(&self) -> u64 {
         self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Bookkeeping after a successful insert/remove: count it and give the camera's
+    /// amortized reclamation hook its tick (a no-op unless an
+    /// [`vcas_core::ReclaimPolicy::Amortized`] policy is installed).
+    #[inline]
+    fn after_update(&self, guard: &Guard) {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        if let Mode::Versioned(camera) = &self.mode {
+            camera.reclaim_tick(guard);
+        }
     }
 
     // ----- search ---------------------------------------------------------------------
@@ -302,7 +323,7 @@ impl Nbbst {
                     unsafe { guard.defer_destroy(s.pupdate.with_tag(0)) };
                 }
                 self.help_insert(op, &guard);
-                self.updates.fetch_add(1, Ordering::Relaxed);
+                self.after_update(&guard);
                 return true;
             } else {
                 // Our descriptor and subtree were never published; reclaim them immediately.
@@ -363,7 +384,7 @@ impl Nbbst {
                     unsafe { guard.defer_destroy(s.gpupdate.with_tag(0)) };
                 }
                 if self.help_delete(op, &guard) {
-                    self.updates.fetch_add(1, Ordering::Relaxed);
+                    self.after_update(&guard);
                     return true;
                 }
             } else {
@@ -605,6 +626,10 @@ impl Nbbst {
 
     /// Truncates version lists of every child pointer reachable in the current tree,
     /// reclaiming versions no pinned snapshot can still need. Returns versions retired.
+    ///
+    /// This is the *unbounded* sweep; automatic reclamation uses the bounded, resumable
+    /// [`Collectible::collect_bounded`] instead (register the tree with
+    /// [`Camera::register_collectible`] and install a [`vcas_core::ReclaimPolicy`]).
     pub fn collect_versions(&self) -> usize {
         let camera = match &self.mode {
             Mode::Plain => return 0,
@@ -625,6 +650,90 @@ impl Nbbst {
             }
         }
         retired
+    }
+}
+
+/// Incremental version-list collection: each bounded pass truncates the child cells of up
+/// to `budget` internal nodes, *in key order*, resuming at the single-key cursor left by
+/// the previous pass. In-order matters: when the budget runs out at a node, every internal
+/// node with a smaller key has already been collected, so "skip left subtrees whose keys
+/// all fall below the cursor" is a sound resume rule. Internal nodes on the search path at
+/// or above the cursor are revisited across passes (their re-truncation is cheap — the
+/// lists are already short), which keeps the resume state one key instead of a traversal
+/// stack over a mutating tree.
+impl Collectible for Nbbst {
+    fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats {
+        enum Step<'g> {
+            Expand(Shared<'g, Node>),
+            Visit(Shared<'g, Node>),
+        }
+        let mut stats = CollectStats::default();
+        if !self.is_versioned() {
+            stats.completed_cycle = true;
+            return stats;
+        }
+        let start = self.reclaim_cursor.load(Ordering::Relaxed);
+        let budget = budget.max(1);
+        let mut stack = vec![Step::Expand(self.root.load(Ordering::SeqCst, guard))];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Expand(node) => {
+                    let n = unsafe { node.deref() };
+                    if n.is_leaf() {
+                        continue;
+                    }
+                    // In-order: left subtree, the node itself, right subtree. The left
+                    // subtree holds keys < n.key only; skip it when the cursor says a
+                    // previous pass already swept past those keys. Nodes below the cursor
+                    // are likewise only routed through, never re-visited — counting them
+                    // against the budget would let a pass burn its whole budget on ground
+                    // already covered and stall the cursor.
+                    stack.push(Step::Expand(n.child(1).load(guard)));
+                    if n.key >= start {
+                        stack.push(Step::Visit(node));
+                    }
+                    if start < n.key {
+                        stack.push(Step::Expand(n.child(0).load(guard)));
+                    }
+                }
+                Step::Visit(node) => {
+                    let n = unsafe { node.deref() };
+                    if stats.cells_visited >= budget {
+                        self.reclaim_cursor.store(n.key, Ordering::Relaxed);
+                        return stats;
+                    }
+                    // Both child cells count against the budget (one "cell" means the same
+                    // thing here as in the list and hash-map impls); a visit may overshoot
+                    // the budget by one cell.
+                    for dir in 0..2 {
+                        stats.versions_retired += n.child(dir).collect_before(min_active, guard);
+                        stats.cells_visited += 1;
+                    }
+                }
+            }
+        }
+        self.reclaim_cursor.store(0, Ordering::Relaxed);
+        stats.completed_cycle = true;
+        stats
+    }
+
+    fn version_stats(&self, guard: &Guard) -> VersionStats {
+        let mut stats = VersionStats::default();
+        let mut stack = vec![self.root.load(Ordering::SeqCst, guard)];
+        while let Some(node) = stack.pop() {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                continue;
+            }
+            for dir in 0..2 {
+                let child = n.child(dir);
+                if let ChildPtr::Versioned(v) = child {
+                    stats.record_cell(v.version_count(guard));
+                }
+                stack.push(child.load(guard));
+            }
+        }
+        stats
     }
 }
 
@@ -1118,6 +1227,73 @@ mod tests {
         let retired = tree.collect_versions();
         assert!(retired > 0, "expected some versions to be reclaimed, got {retired}");
         assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn bounded_collection_covers_the_tree_in_slices() {
+        let camera = Camera::new();
+        let tree = Nbbst::new_versioned(&camera);
+        for k in 1..=200u64 {
+            camera.take_snapshot();
+            tree.insert(k, k);
+        }
+        for k in 1..=100u64 {
+            camera.take_snapshot();
+            tree.remove(k);
+        }
+        let guard = pin();
+        let before = Collectible::version_stats(&tree, &guard);
+        assert!(before.max_versions_per_cell > 1, "churn must have grown version lists");
+
+        // Sweep in small slices until one pass reports completion; the cursor must make
+        // the passes cover the whole tree.
+        let min_active = camera.min_active();
+        let mut passes = 0;
+        let mut retired = 0;
+        loop {
+            let s = tree.collect_bounded(min_active, 8, &guard);
+            retired += s.versions_retired;
+            passes += 1;
+            assert!(passes < 1000, "bounded collection must terminate");
+            if s.completed_cycle {
+                break;
+            }
+            // A visit truncates both child cells, so a slice may overshoot by one cell.
+            assert!(s.cells_visited <= 8 + 1, "slice exceeded its budget");
+        }
+        assert!(passes > 1, "budget 8 on a 100-key tree must need several slices");
+        assert!(retired > 0);
+        let after = Collectible::version_stats(&tree, &guard);
+        assert_eq!(after.max_versions_per_cell, 1, "no pins: one version per cell remains");
+        assert_eq!(tree.len(), 100, "collection must not change the abstract state");
+    }
+
+    #[test]
+    fn amortized_hook_keeps_versions_bounded_without_manual_calls() {
+        use vcas_core::ReclaimPolicy;
+        let camera = Camera::new();
+        let tree = Arc::new(Nbbst::new_versioned(&camera));
+        camera.register_collectible(&tree);
+        assert!(ReclaimPolicy::Amortized { every_n_updates: 16, budget: 256 }
+            .install(&camera)
+            .is_none());
+        for round in 0..40u64 {
+            for k in 1..=64u64 {
+                camera.take_snapshot();
+                if round % 2 == 0 {
+                    tree.insert(k, k);
+                } else {
+                    tree.remove(k);
+                }
+            }
+        }
+        assert!(camera.versions_retired() > 0, "update hooks never collected");
+        let guard = pin();
+        let stats = Collectible::version_stats(tree.as_ref(), &guard);
+        assert!(
+            stats.max_versions_per_cell < 64,
+            "version lists must stay bounded under the amortized hook, got {stats:?}"
+        );
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! expected size and target load factor via [`VcasHashMap::buckets_for`] (the workload
 //! harness's `hashmap` scenario does exactly that).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle};
 use vcas_ebr::{pin, Guard};
 
@@ -41,6 +43,8 @@ pub struct VcasHashMap {
     buckets: Box<[HarrisList]>,
     mask: u64,
     mode: MapMode,
+    /// Resume bucket for incremental version-list collection ([`Collectible`]).
+    reclaim_bucket: AtomicUsize,
     label: &'static str,
 }
 
@@ -53,7 +57,13 @@ impl VcasHashMap {
                 MapMode::Versioned(camera) => HarrisList::new_versioned(camera),
             })
             .collect();
-        VcasHashMap { buckets, mask: (n - 1) as u64, mode, label }
+        VcasHashMap {
+            buckets,
+            mask: (n - 1) as u64,
+            mode,
+            reclaim_bucket: AtomicUsize::new(0),
+            label,
+        }
     }
 
     /// The unversioned table (`HashMap` in benchmark output): lock-free point ops, but
@@ -301,6 +311,56 @@ impl MapSnapshotView for VcasHashMapView<'_> {
     }
 }
 
+/// Incremental version-list collection: the budget is spread across buckets round-robin,
+/// resuming at the bucket (and, via each bucket list's own cursor, the position inside it)
+/// where the previous bounded pass stopped. Update hooks need no wiring here — the buckets
+/// are [`HarrisList`]s sharing the table's camera, so their update paths already drive
+/// [`Camera::reclaim_tick`].
+impl Collectible for VcasHashMap {
+    fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats {
+        let mut stats = CollectStats::default();
+        if matches!(self.mode, MapMode::Plain) {
+            stats.completed_cycle = true;
+            return stats;
+        }
+        let n = self.buckets.len();
+        let budget = budget.max(1);
+        // Linear sweep: a pass continues from the cursor toward the last bucket; finishing
+        // bucket n-1 completes the cycle and wraps the cursor to 0. (A circular pass could
+        // never report completion with a budget smaller than the table.)
+        let start = self.reclaim_bucket.load(Ordering::Relaxed).min(n - 1);
+        for idx in start..n {
+            if stats.cells_visited >= budget {
+                self.reclaim_bucket.store(idx, Ordering::Relaxed);
+                return stats;
+            }
+            let slice = self.buckets[idx].collect_cells_bounded(
+                min_active,
+                budget - stats.cells_visited,
+                guard,
+            );
+            stats.cells_visited += slice.cells_visited;
+            stats.versions_retired += slice.versions_retired;
+            if !slice.completed_cycle {
+                // Ran out of budget inside this bucket; its own cursor resumes there.
+                self.reclaim_bucket.store(idx, Ordering::Relaxed);
+                return stats;
+            }
+        }
+        self.reclaim_bucket.store(0, Ordering::Relaxed);
+        stats.completed_cycle = true;
+        stats
+    }
+
+    fn version_stats(&self, guard: &Guard) -> VersionStats {
+        let mut stats = VersionStats::default();
+        for bucket in self.buckets.iter() {
+            stats.merge(bucket.version_stats_walk(guard));
+        }
+        stats
+    }
+}
+
 impl CameraAttached for VcasHashMap {
     fn attached_camera(&self) -> Option<&Arc<Camera>> {
         self.camera()
@@ -440,6 +500,68 @@ mod tests {
         }
         writer.join().unwrap();
         assert_eq!(map.len(), 1500);
+    }
+
+    #[test]
+    fn bounded_collection_sweeps_every_bucket() {
+        let camera = Camera::new();
+        let map = VcasHashMap::new_versioned(&camera, 16);
+        for k in 1..=200u64 {
+            camera.take_snapshot();
+            map.insert(k, k);
+        }
+        // Churn every key (remove + re-insert) so interior cells accumulate versions while
+        // the physical bucket lists stay populated.
+        for k in 1..=200u64 {
+            camera.take_snapshot();
+            map.remove(k);
+            camera.take_snapshot();
+            map.insert(k, k * 2);
+        }
+        let guard = pin();
+        let before = Collectible::version_stats(&map, &guard);
+        assert!(before.max_versions_per_cell > 1);
+
+        let min_active = camera.min_active();
+        let mut passes = 0;
+        loop {
+            let s = map.collect_bounded(min_active, 16, &guard);
+            passes += 1;
+            assert!(passes < 1000, "bounded collection must terminate");
+            assert!(s.cells_visited <= 16, "slice exceeded its budget");
+            if s.completed_cycle {
+                break;
+            }
+        }
+        assert!(passes > 1, "budget 16 across 16 churned buckets must need several slices");
+        let after = Collectible::version_stats(&map, &guard);
+        assert_eq!(after.max_versions_per_cell, 1, "no pins: one version per cell remains");
+        assert_eq!(map.len(), 200, "collection must not change the abstract state");
+        assert_eq!(map.get(7), Some(14));
+    }
+
+    #[test]
+    fn amortized_hook_fires_through_bucket_updates() {
+        use vcas_core::ReclaimPolicy;
+        let camera = Camera::new();
+        let map = Arc::new(VcasHashMap::new_versioned(&camera, 8));
+        camera.register_collectible(&map);
+        ReclaimPolicy::Amortized { every_n_updates: 16, budget: 256 }.install(&camera);
+        for round in 0..30u64 {
+            for k in 1..=64u64 {
+                camera.take_snapshot();
+                if round % 2 == 0 {
+                    map.insert(k, k);
+                } else {
+                    map.remove(k);
+                }
+            }
+        }
+        // The map itself has no update code — its buckets' hooks must have ticked.
+        assert!(camera.versions_retired() > 0, "bucket update hooks never collected");
+        let guard = pin();
+        let stats = Collectible::version_stats(map.as_ref(), &guard);
+        assert!(stats.max_versions_per_cell < 30, "unbounded growth despite hooks: {stats:?}");
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! query: range queries, multi-searches, i-th element, and full scans (Table 1 rows for the
 //! Harris linked list).
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionedPtr};
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
 
@@ -73,6 +74,13 @@ impl NextPtr {
             NextPtr::Versioned(v) => v.all_versions(guard),
         }
     }
+
+    fn collect_before(&self, min_active: u64, guard: &Guard) -> usize {
+        match self {
+            NextPtr::Plain(_) => 0,
+            NextPtr::Versioned(v) => v.collect_before(min_active, guard),
+        }
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -98,13 +106,17 @@ pub struct HarrisList {
     /// Sentinel head node; its key is never examined.
     head: Atomic<Node>,
     mode: Mode,
+    /// Resume point for incremental version-list collection ([`Collectible`]), stored as
+    /// *resume key + 1* so that the value 0 unambiguously means "fresh sweep, include the
+    /// head sentinel" even though 0 is a legal user key.
+    reclaim_cursor: AtomicU64,
     label: &'static str,
 }
 
 impl HarrisList {
     fn with_mode(mode: Mode, label: &'static str) -> HarrisList {
         let head = Node { key: 0, value: 0, next: NextPtr::new(&mode, Shared::null()) };
-        HarrisList { head: Atomic::new(head), mode, label }
+        HarrisList { head: Atomic::new(head), mode, reclaim_cursor: AtomicU64::new(0), label }
     }
 
     /// The original, unversioned list.
@@ -127,6 +139,16 @@ impl HarrisList {
         match &self.mode {
             Mode::Plain => None,
             Mode::Versioned(c) => Some(c),
+        }
+    }
+
+    /// Amortized reclamation hook, called after each successful update (a no-op unless an
+    /// [`vcas_core::ReclaimPolicy::Amortized`] policy is installed on the camera). Covers
+    /// the hash map too: its buckets are `HarrisList`s sharing the table's camera.
+    #[inline]
+    fn after_update(&self, guard: &Guard) {
+        if let Mode::Versioned(camera) = &self.mode {
+            camera.reclaim_tick(guard);
         }
     }
 
@@ -178,6 +200,7 @@ impl HarrisList {
                 .into_shared(&guard);
             let pred_ref = unsafe { pred.deref() };
             if pred_ref.next.compare_exchange(curr, new, &guard) {
+                self.after_update(&guard);
                 return true;
             }
             // Not published: free and retry.
@@ -211,6 +234,7 @@ impl HarrisList {
             {
                 unsafe { guard.defer_destroy(curr) };
             }
+            self.after_update(&guard);
             return true;
         }
     }
@@ -375,6 +399,84 @@ impl HarrisList {
     /// Is the list empty?
     pub fn is_empty(&self) -> bool {
         self.view().is_empty()
+    }
+
+    // ----- incremental version-list collection -------------------------------------------
+
+    /// Bounded, resumable truncation of this list's cells: walks the *physical* list
+    /// (marked nodes included — their cells hold versions too) from the resume cursor,
+    /// truncating up to `budget` cells under `min_active`. Shared between the standalone
+    /// [`Collectible`] impl and [`crate::VcasHashMap`], whose buckets drive it round-robin.
+    pub(crate) fn collect_cells_bounded(
+        &self,
+        min_active: u64,
+        budget: usize,
+        guard: &Guard,
+    ) -> CollectStats {
+        let mut stats = CollectStats::default();
+        if matches!(self.mode, Mode::Plain) {
+            stats.completed_cycle = true;
+            return stats;
+        }
+        // Cursor encoding: 0 = fresh sweep (head sentinel first); k+1 = resume at the
+        // first node with key >= k (inclusive, so the node the previous pass stalled on —
+        // and never collected — is picked up now, guaranteeing forward progress).
+        let cursor = self.reclaim_cursor.load(Ordering::Relaxed);
+        let budget = budget.max(1);
+        let head = self.head.load(Ordering::SeqCst, guard);
+        let head_ref = unsafe { head.deref() };
+        if cursor == 0 {
+            // The head sentinel's next cell is a versioned cell like any other.
+            stats.versions_retired += head_ref.next.collect_before(min_active, guard);
+            stats.cells_visited += 1;
+        }
+        let resume_min = cursor.saturating_sub(1);
+        let mut curr = head_ref.next.load(guard).with_tag(0);
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(guard);
+            if node.key >= resume_min {
+                // Stall only on keys that can be re-encoded unambiguously (key + 1 must
+                // not wrap): a u64::MAX node is simply collected past the budget instead,
+                // overshooting by at most the few such nodes.
+                if stats.cells_visited >= budget && node.key < u64::MAX {
+                    self.reclaim_cursor.store(node.key + 1, Ordering::Relaxed);
+                    return stats;
+                }
+                stats.versions_retired += node.next.collect_before(min_active, guard);
+                stats.cells_visited += 1;
+            }
+            curr = next.with_tag(0);
+        }
+        self.reclaim_cursor.store(0, Ordering::Relaxed);
+        stats.completed_cycle = true;
+        stats
+    }
+
+    /// Version-list statistics over every cell in the physical list (shared with the hash
+    /// map's per-bucket aggregation).
+    pub(crate) fn version_stats_walk(&self, guard: &Guard) -> VersionStats {
+        let mut stats = VersionStats::default();
+        let mut curr = self.head.load(Ordering::SeqCst, guard);
+        while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
+            if let NextPtr::Versioned(v) = &node.next {
+                stats.record_cell(v.version_count(guard));
+            }
+            curr = node.next.load(guard).with_tag(0);
+        }
+        stats
+    }
+}
+
+/// Incremental version-list collection for a standalone list. (Bucket lists inside a
+/// [`crate::VcasHashMap`] are not registered individually — the map registers itself and
+/// spreads the budget across buckets.)
+impl Collectible for HarrisList {
+    fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats {
+        self.collect_cells_bounded(min_active, budget, guard)
+    }
+
+    fn version_stats(&self, guard: &Guard) -> VersionStats {
+        self.version_stats_walk(guard)
     }
 }
 
@@ -706,6 +808,75 @@ mod tests {
                 assert_eq!(list.contains(k), scan.contains(&k));
             }
         }
+    }
+
+    #[test]
+    fn bounded_collection_truncates_the_list_in_slices() {
+        let camera = Camera::new();
+        let list = HarrisList::new_versioned(&camera);
+        for k in 1..=50u64 {
+            camera.take_snapshot();
+            list.insert(k, k);
+        }
+        // Churn every key once more so interior cells accumulate versions.
+        for k in 1..=50u64 {
+            camera.take_snapshot();
+            list.remove(k);
+            camera.take_snapshot();
+            list.insert(k, k * 2);
+        }
+        let guard = pin();
+        let before = Collectible::version_stats(&list, &guard);
+        assert!(before.max_versions_per_cell > 1);
+
+        let min_active = camera.min_active();
+        let mut passes = 0;
+        loop {
+            let s = list.collect_cells_bounded(min_active, 8, &guard);
+            passes += 1;
+            assert!(passes < 1000, "bounded collection must terminate");
+            assert!(s.cells_visited <= 8, "slice exceeded its budget");
+            if s.completed_cycle {
+                break;
+            }
+        }
+        assert!(passes > 1, "budget 8 on a 50-key list must need several slices");
+        let after = Collectible::version_stats(&list, &guard);
+        assert_eq!(after.max_versions_per_cell, 1, "no pins: one version per cell remains");
+        assert_eq!(list.len(), 50, "collection must not change the abstract state");
+        assert_eq!(list.get(25), Some(50));
+    }
+
+    /// Regression test: key 0 is a legal list key and must not alias the cursor's
+    /// "fresh sweep" encoding — with the smallest possible budget, collection still makes
+    /// forward progress and completes.
+    #[test]
+    fn bounded_collection_progresses_past_key_zero_with_budget_one() {
+        let camera = Camera::new();
+        let list = HarrisList::new_versioned(&camera);
+        for k in 0..8u64 {
+            camera.take_snapshot();
+            list.insert(k, k);
+        }
+        for k in 0..8u64 {
+            camera.take_snapshot();
+            list.remove(k);
+            camera.take_snapshot();
+            list.insert(k, k + 1);
+        }
+        let guard = pin();
+        let min_active = camera.min_active();
+        let mut passes = 0;
+        loop {
+            let s = list.collect_cells_bounded(min_active, 1, &guard);
+            passes += 1;
+            assert!(passes < 100, "budget-1 collection stalled (cursor aliasing on key 0?)");
+            if s.completed_cycle {
+                break;
+            }
+        }
+        assert_eq!(Collectible::version_stats(&list, &guard).max_versions_per_cell, 1);
+        assert_eq!(list.get(0), Some(1), "key 0 survives collection");
     }
 
     #[test]

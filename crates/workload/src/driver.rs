@@ -7,12 +7,14 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use vcas_core::reclaim::{Collectible, VersionStats};
+use vcas_core::Camera;
 use vcas_structures::queries::{run_cross_query, run_query_on_view, CrossQueryKind, QueryKind};
 use vcas_structures::traits::{AtomicRangeMap, Key, SnapshotMap};
 use vcas_structures::view::{GroupQueryExt, SnapshotSource, StructureGroup};
 use vcas_structures::{Nbbst, VcasHashMap};
 
-use crate::spec::{ComposedScenario, HashMapScenario, WorkloadSpec};
+use crate::spec::{ComposedScenario, HashMapScenario, ReclaimScenario, WorkloadSpec};
 
 /// Result of a timed run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -378,6 +380,144 @@ pub fn run_composed(
     }
 }
 
+/// Result of a `reclaim` scenario run (see [`run_reclaim`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ReclaimResult {
+    /// Throughput of the update threads (inserts + deletes).
+    pub updates: Throughput,
+    /// Version nodes retired over the whole run, including the final quiescence sweep
+    /// (from [`Camera::versions_retired`]).
+    pub versions_retired: u64,
+    /// Version nodes retired *before* the final quiescence sweep — i.e. by the installed
+    /// policy's own drivers while the run (and its pin) was live. Zero under
+    /// [`vcas_core::ReclaimPolicy::Disabled`]; positive when the amortized hooks or the
+    /// background collector actually ran. (With the reader pinned at the window's start,
+    /// this is history below the pin — mostly prefill-era versions.)
+    pub versions_retired_during_run: u64,
+    /// Per-cell version-list statistics *while the reader's pin was still held* (versions
+    /// above the pin's timestamp legitimately accumulate here).
+    pub stats_while_pinned: VersionStats,
+    /// Per-cell version-list statistics after the pin dropped and collection reached
+    /// quiescence — the driver asserts `max_versions_per_cell` is bounded by a small
+    /// constant here.
+    pub stats_after_drop: VersionStats,
+}
+
+/// Runs the `reclaim` scenario: `spec.threads` update-heavy writers (50% inserts / 50%
+/// deletes) hammer a versioned [`Nbbst`] registered with its camera for automatic
+/// reclamation under `scenario.policy`, while **one long-pinned reader** (the driver
+/// thread) holds a snapshot view open across the whole timed window.
+///
+/// The driver asserts, panicking with the spec's seed on violation:
+///
+/// * the pinned view answers every re-validation with its exact frozen state (reads at its
+///   timestamp never change, no matter how much is truncated around it);
+/// * after the pin drops and a quiescence sweep completes, every cell's version list has
+///   collapsed to a small constant — i.e. the run did not leak version history.
+pub fn run_reclaim(spec: &WorkloadSpec, scenario: &ReclaimScenario) -> ReclaimResult {
+    let camera = Camera::new();
+    let tree = Arc::new(Nbbst::new_versioned(&camera));
+    camera.register_collectible(&tree);
+    let collector = scenario.policy.install(&camera);
+    prefill(tree.as_ref(), spec);
+    let key_range = spec.key_range();
+
+    // The long-pinned reader: freeze a set of answers at the pin's timestamp.
+    let view = tree.view();
+    let pinned_ts = view.timestamp().expect("versioned tree views are pinned");
+    let probe: Vec<Key> = (0..32).map(|i| i * key_range.max(32) / 32 + 1).collect();
+    let frozen_probe = view.multi_get(&probe);
+    let frozen_len = view.len();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..spec.threads.max(1) {
+        let tree = tree.clone();
+        let stop = stop.clone();
+        let total_ops = total_ops.clone();
+        let seed = spec.seed + t as u64;
+        let skew = spec.skew;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = skew.sample(&mut rng, key_range);
+                if rng.gen_bool(0.5) {
+                    tree.insert(key, key);
+                } else {
+                    tree.remove(key);
+                }
+                ops += 1;
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+
+    // Re-validate the frozen view throughout the window (the reader side of the scenario).
+    let checks = scenario.reader_checks.max(1);
+    for check in 0..checks {
+        std::thread::sleep(Duration::from_millis(spec.duration_ms / checks as u64));
+        assert_eq!(
+            view.timestamp(),
+            Some(pinned_ts),
+            "check {check}: pinned view lost its timestamp (seed={:#x})",
+            spec.seed
+        );
+        assert_eq!(
+            view.multi_get(&probe),
+            frozen_probe,
+            "check {check}: pinned view's answers changed under writers (seed={:#x})",
+            spec.seed
+        );
+        assert_eq!(
+            view.len(),
+            frozen_len,
+            "check {check}: pinned view's len changed under writers (seed={:#x})",
+            spec.seed
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        join_worker(h, spec);
+    }
+    let elapsed = start.elapsed();
+
+    // Retirement observed *before* the final sweep below: with the reader pinned at the
+    // window's start, this is exclusively the work of the installed policy (amortized
+    // hooks / background collector) truncating history below the pin — zero when the
+    // policy is `Disabled`, so it is the signal that the automatic drivers actually ran.
+    let versions_retired_during_run = camera.versions_retired();
+    let guard = vcas_ebr::pin();
+    let stats_while_pinned = Collectible::version_stats(tree.as_ref(), &guard);
+    drop(guard);
+
+    // Pin drops; collection must now be able to reclaim everything above one version per
+    // cell. Stop a background collector first so the quiescence sweep is uncontended.
+    drop(view);
+    drop(collector);
+    let guard = vcas_ebr::pin();
+    let sweep = camera.collect_to_quiescence(1 << 20, 64, &guard);
+    assert!(sweep.completed_cycle, "collection never reached quiescence (seed={:#x})", spec.seed);
+    let stats_after_drop = Collectible::version_stats(tree.as_ref(), &guard);
+    drop(guard);
+    vcas_ebr::flush();
+    assert!(
+        stats_after_drop.max_versions_per_cell <= 2,
+        "version lists still unbounded after the pin dropped: {stats_after_drop:?} (seed={:#x})",
+        spec.seed
+    );
+
+    ReclaimResult {
+        updates: Throughput { operations: total_ops.load(Ordering::Relaxed), elapsed },
+        versions_retired: camera.versions_retired(),
+        versions_retired_during_run,
+        stats_while_pinned,
+        stats_after_drop,
+    }
+}
+
 /// The sorted-insertion workload of Fig. 2i: an ascending key sequence is split into chunks
 /// of 1024 keys placed on a global work queue; threads grab chunks and insert them. Returns
 /// the insert throughput (keys inserted per second over the whole run).
@@ -527,6 +667,49 @@ mod tests {
         let map = Arc::new(VcasHashMap::new_versioned_default());
         let spec = WorkloadSpec::new(1, 10, Mix::update_heavy());
         let _ = run_composed(tree, map, &spec, &ComposedScenario::default(), 0, 0);
+    }
+
+    #[test]
+    fn reclaim_run_bounds_versions_under_every_policy() {
+        use crate::spec::ReclaimScenario;
+        use vcas_core::ReclaimPolicy;
+        for policy in [
+            ReclaimPolicy::Disabled,
+            ReclaimPolicy::Amortized { every_n_updates: 64, budget: 128 },
+            ReclaimPolicy::Background { interval_ms: 2, budget: 512 },
+        ] {
+            let mut spec = WorkloadSpec::new(2, 150, Mix::update_heavy());
+            spec.duration_ms = 60;
+            let scenario = ReclaimScenario { policy, reader_checks: 3 };
+            // run_reclaim asserts the frozen-view and bounded-versions invariants itself.
+            let r = run_reclaim(&spec, &scenario);
+            assert!(r.updates.operations > 0, "{policy:?}: no updates (seed={:#x})", spec.seed);
+            assert!(
+                r.versions_retired > 0,
+                "{policy:?}: nothing reclaimed (seed={:#x})",
+                spec.seed
+            );
+            // The mid-run counter separates the policies: only the automatic drivers can
+            // retire anything before the final sweep.
+            if policy == ReclaimPolicy::Disabled {
+                assert_eq!(
+                    r.versions_retired_during_run, 0,
+                    "Disabled must not collect mid-run (seed={:#x})",
+                    spec.seed
+                );
+            } else {
+                assert!(
+                    r.versions_retired_during_run > 0,
+                    "{policy:?}: drivers never collected during the run (seed={:#x})",
+                    spec.seed
+                );
+            }
+            assert!(r.stats_after_drop.max_versions_per_cell <= 2, "{policy:?}");
+            assert!(
+                r.stats_while_pinned.versions >= r.stats_after_drop.versions,
+                "{policy:?}: quiescence must not grow history"
+            );
+        }
     }
 
     #[test]

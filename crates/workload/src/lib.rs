@@ -19,7 +19,12 @@
 //! * the `composed` scenario ([`run_composed`]): view-driven query execution against a
 //!   BST and a hash map sharing one camera — each query thread takes one group snapshot,
 //!   opens one view per structure at the shared timestamp, and amortizes a whole batch of
-//!   Table-2 and cross-structure queries over it ([`ComposedScenario`]).
+//!   Table-2 and cross-structure queries over it ([`ComposedScenario`]);
+//! * the `reclaim` scenario ([`run_reclaim`]): update-heavy writers against a versioned
+//!   BST with automatic version-list reclamation installed
+//!   ([`vcas_core::ReclaimPolicy`]), plus one long-pinned reader — the driver asserts the
+//!   pinned view stays frozen and that version lists are bounded once the pin drops
+//!   ([`ReclaimScenario`]).
 //!
 //! Throughput is reported in operations per second ([`Throughput`]). All randomness
 //! derives from [`WorkloadSpec::seed`] (default [`spec::DEFAULT_SEED`]), so runs are
@@ -31,7 +36,7 @@ pub mod driver;
 pub mod spec;
 
 pub use driver::{
-    run_composed, run_dedicated, run_hashmap, run_mixed, run_sorted_insert, ComposedResult,
-    DedicatedResult, Throughput,
+    run_composed, run_dedicated, run_hashmap, run_mixed, run_reclaim, run_sorted_insert,
+    ComposedResult, DedicatedResult, ReclaimResult, Throughput,
 };
-pub use spec::{ComposedScenario, HashMapScenario, KeySkew, Mix, WorkloadSpec};
+pub use spec::{ComposedScenario, HashMapScenario, KeySkew, Mix, ReclaimScenario, WorkloadSpec};

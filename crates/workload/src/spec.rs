@@ -74,6 +74,31 @@ impl HashMapScenario {
     }
 }
 
+/// Parameters of the `reclaim` workload scenario (see `driver::run_reclaim`): update-heavy
+/// writers hammer a versioned BST that is registered for automatic version-list
+/// reclamation, while one long-pinned reader holds a snapshot open across the whole run.
+/// The driver asserts that the pinned view keeps reading its exact timestamp throughout,
+/// and that per-cell version counts are bounded once the pin drops and collection reaches
+/// quiescence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReclaimScenario {
+    /// How reclamation is driven during the timed window
+    /// ([`vcas_core::ReclaimPolicy::Disabled`] reproduces the leak the subsystem fixes —
+    /// collection then only happens in the driver's final quiescence sweep).
+    pub policy: vcas_core::ReclaimPolicy,
+    /// How many times the pinned reader re-validates its frozen answers during the window.
+    pub reader_checks: u32,
+}
+
+impl Default for ReclaimScenario {
+    fn default() -> Self {
+        ReclaimScenario {
+            policy: vcas_core::ReclaimPolicy::Amortized { every_n_updates: 128, budget: 64 },
+            reader_checks: 8,
+        }
+    }
+}
+
 /// Parameters of the `composed` workload scenario: view-driven query execution against a
 /// BST and a hash map sharing one camera (see `driver::run_composed`). Each query thread
 /// repeatedly takes one *group snapshot*, opens one view per structure at the shared

@@ -163,12 +163,13 @@ fn group_views_conserve_tokens_across_structures() {
     assert_eq!(camera.pinned_count(), 0, "group snapshots release their pins");
 }
 
-// Sequential model check: a view opened mid-way through an operation sequence keeps
-// answering with the mid-way state, while the structure itself moves on. (A regular
-// comment: the vendored proptest! macro only matches a bare `#[test] fn`.)
 proptest! {
     #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
+    /// Sequential model check: a view opened mid-way through an operation sequence keeps
+    /// answering with the mid-way state, while the structure itself moves on. (This doc
+    /// comment doubles as a regression check: the vendored `proptest!` macro used to
+    /// recurse infinitely on doc-commented fns inside the block.)
     #[test]
     fn view_is_a_point_in_time_copy_of_the_model(
         before in proptest::collection::vec((0..2u8, 1..64u64, 0..1000u64), 0..200),

@@ -355,12 +355,16 @@ macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
         $crate::proptest!(@impl $cfg; $($rest)*);
     };
+    // Each fn's attributes — `#[test]` and any doc comments (which desugar to `#[doc =
+    // ...]` and therefore match `#[$attr:meta]`) — are captured and re-emitted verbatim.
+    // Matching a literal `#[test]` instead used to make doc-commented fns fall through to
+    // the catch-all arm below and recurse forever.
     (@impl $cfg:expr; $(
-        #[test]
+        $( #[$attr:meta] )*
         fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
     )*) => {
         $(
-            #[test]
+            $( #[$attr] )*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 for case in 0..config.cases {
@@ -437,6 +441,26 @@ mod tests {
         #[test]
         fn macro_defaults_to_256_cases(x in 0..3u8) {
             prop_assert!(x < 3);
+        }
+    }
+
+    // Compile regression: doc comments on fns inside the block used to send the macro into
+    // infinite recursion (the `@impl` arm only matched a bare `#[test] fn`). This block
+    // merely expanding is most of the test; running it proves the attributes re-emit.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+        /// A doc-commented property test must expand and run like any other.
+        #[test]
+        fn macro_accepts_doc_comments(x in 1..10u8) {
+            prop_assert!(x >= 1);
+        }
+
+        /// Several doc-commented fns in one block, with the comment in either position
+        /// relative to `#[test]`, must all expand.
+        #[test]
+        fn macro_accepts_doc_comments_on_later_fns(y in 0..5u8) {
+            prop_assert!(y < 5);
         }
     }
 }
