@@ -160,6 +160,7 @@ fn bench_reclaim_ablation(c: &mut Criterion) {
         ReclaimPolicy::Disabled,
         ReclaimPolicy::Amortized { every_n_updates: 128, budget: 64 },
         ReclaimPolicy::Background { interval_ms: 2, budget: 512 },
+        ReclaimPolicy::Adaptive { initial_interval_ms: 2, budget: 512 },
     ] {
         let camera = Camera::new();
         let tree = std::sync::Arc::new(Nbbst::new_versioned(&camera));

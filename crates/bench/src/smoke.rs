@@ -25,13 +25,26 @@ use vcas_workload::{
 
 use crate::experiments::{fresh_hashmap, HASHMAP_CONTENDERS};
 
-/// One smoke data point: a scenario/structure pair and its measured throughput.
+/// One smoke data point: a scenario/structure pair and its measured throughput, plus —
+/// for the reclamation rows — the end-of-run memory footprint (live versions/nodes),
+/// so the perf trajectory tracks memory boundedness and not just speed.
 #[derive(Debug, Clone)]
 pub struct SmokeRow {
     /// `scenario/structure` identifier, e.g. `mixed-update-heavy/VcasBST`.
     pub id: String,
     /// Millions of operations (or queries) per second.
     pub mops: f64,
+    /// `Camera::approx_live_versions()` after the run quiesced (reclaim rows only).
+    pub live_versions: Option<u64>,
+    /// `Camera::approx_live_nodes()` after the run quiesced (reclaim rows only).
+    pub live_nodes: Option<u64>,
+}
+
+impl SmokeRow {
+    /// A throughput-only row (every scenario except the reclamation ablation).
+    fn throughput(id: String, mops: f64) -> SmokeRow {
+        SmokeRow { id, mops, live_versions: None, live_nodes: None }
+    }
 }
 
 /// Parameters of a smoke run. Defaults are sized for seconds of total wall clock.
@@ -88,11 +101,11 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
     ];
     for (name, map) in ordered {
         let t = run_mixed(map, &spec(cfg, Mix::update_heavy()));
-        rows.push(SmokeRow { id: format!("mixed-update-heavy/{name}"), mops: t.mops() });
+        rows.push(SmokeRow::throughput(format!("mixed-update-heavy/{name}"), t.mops()));
     }
     let rq: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned(&Camera::new()));
     let t = run_mixed(rq, &spec(cfg, Mix::update_heavy_with_rq()));
-    rows.push(SmokeRow { id: "mixed-update-heavy-rq/VcasBST".to_string(), mops: t.mops() });
+    rows.push(SmokeRow::throughput("mixed-update-heavy-rq/VcasBST".to_string(), t.mops()));
 
     // The hash-map scenario, uniform and skewed, for every contender.
     let scenario = HashMapScenario::default();
@@ -104,7 +117,7 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
         for name in HASHMAP_CONTENDERS {
             let map = fresh_hashmap(name, buckets);
             let t = run_hashmap(map, &spec(cfg, mix).with_skew(skew), &scenario);
-            rows.push(SmokeRow { id: format!("{tag}/{name}"), mops: t.mops() });
+            rows.push(SmokeRow::throughput(format!("{tag}/{name}"), t.mops()));
         }
     }
 
@@ -117,7 +130,7 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
     for kind in [HashQueryKind::MultiGet16, HashQueryKind::ScanAll] {
         let window = std::time::Duration::from_millis(cfg.duration_ms);
         let qps = crate::experiments::timed_query_qps(map.as_ref(), kind, cfg.size, window);
-        rows.push(SmokeRow { id: format!("query-{}/VcasHashMap", kind.label()), mops: qps / 1e6 });
+        rows.push(SmokeRow::throughput(format!("query-{}/VcasHashMap", kind.label()), qps / 1e6));
     }
 
     // View amortization ablation: the identical cycle of Table-2 sub-queries executed (a)
@@ -162,7 +175,7 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
             queries += VIEW_BATCH as u64;
         }
         let qps = queries as f64 / start.elapsed().as_secs_f64();
-        rows.push(SmokeRow { id: id.to_string(), mops: qps / 1e6 });
+        rows.push(SmokeRow::throughput(id.to_string(), qps / 1e6));
     }
 
     // The composed scenario: group snapshots over a BST + hash map sharing one camera,
@@ -178,28 +191,53 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
         1,
         cfg.threads,
     );
-    rows.push(SmokeRow { id: "composed/VcasGroup".to_string(), mops: r.queries.mops() });
+    rows.push(SmokeRow::throughput("composed/VcasGroup".to_string(), r.queries.mops()));
 
     // Reclamation ablation: the identical update-heavy run (writers plus one long-pinned
-    // reader) with reclamation disabled / amortized hooks / background collector. The row
-    // is the writers' throughput — i.e. what automatic reclamation costs the update path.
-    // `run_reclaim` also asserts the frozen-view and bounded-versions invariants, so CI
-    // *executes* the reclamation subsystem end-to-end on every PR.
+    // reader) with reclamation disabled / amortized hooks / background collector /
+    // adaptive collector. The row is the writers' throughput — what automatic reclamation
+    // costs the update path — plus the end-of-run memory footprint (live versions and
+    // live data nodes after quiescence), so the archived trajectory tracks memory
+    // boundedness too. `run_reclaim` also asserts the frozen-view, bounded-versions, and
+    // node-conservation invariants, so CI *executes* the whole reclamation subsystem
+    // end-to-end on every PR.
     for policy in [
         ReclaimPolicy::Disabled,
         ReclaimPolicy::Amortized { every_n_updates: 128, budget: 64 },
         ReclaimPolicy::Background { interval_ms: 2, budget: 512 },
+        ReclaimPolicy::Adaptive { initial_interval_ms: 2, budget: 512 },
     ] {
         let scenario = ReclaimScenario { policy, reader_checks: 2 };
-        let r = run_reclaim(&spec(cfg, Mix::update_heavy()), &scenario);
-        rows.push(SmokeRow { id: format!("reclaim/{}", policy.label()), mops: r.updates.mops() });
+        let run_spec = spec(cfg, Mix::update_heavy());
+        // The tree can never exceed its key universe (`key_range`, ~1.67·size for the
+        // 30/20 update-heavy mix), so the leaf-oriented tree holds at most
+        // 2·key_range + 3 nodes: a larger live-node count would mean truncation leaked
+        // data nodes. CI runs this binary, making the bound an enforced acceptance
+        // criterion, not just a report. (`run_reclaim` itself asserts the *exact* count
+        // against the surviving tree; this is the key-universe ceiling.)
+        let node_ceiling = 2 * run_spec.key_range() + 3;
+        let r = run_reclaim(&run_spec, &scenario);
+        assert!(
+            r.live_nodes_after_quiescence <= node_ceiling,
+            "reclaim/{}: live nodes unbounded after quiescence: {} > {node_ceiling}",
+            policy.label(),
+            r.live_nodes_after_quiescence,
+        );
+        rows.push(SmokeRow {
+            id: format!("reclaim/{}", policy.label()),
+            mops: r.updates.mops(),
+            live_versions: Some(r.live_versions_after_quiescence),
+            live_nodes: Some(r.live_nodes_after_quiescence),
+        });
     }
 
     rows
 }
 
 /// Serializes smoke results as JSON (hand-rolled: the workspace intentionally has no
-/// serde). Schema: `{"schema_version":1,"mode":"quick",...,"results":[{"id","mops"},..]}`.
+/// serde). Schema v2: `{"schema_version":2,"mode":"quick",...,"results":[{"id","mops"}
+/// ,..]}`, where reclaim rows additionally carry `"live_versions"` and `"live_nodes"`
+/// (end-of-run memory footprint; absent on throughput-only rows).
 pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -207,7 +245,7 @@ pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
         .unwrap_or(0);
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str("  \"mode\": \"quick\",\n");
     out.push_str(&format!("  \"unix_time\": {unix_secs},\n"));
     out.push_str(&format!("  \"duration_ms\": {},\n", cfg.duration_ms));
@@ -216,8 +254,15 @@ pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
     out.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let mut memory = String::new();
+        if let Some(v) = row.live_versions {
+            memory.push_str(&format!(", \"live_versions\": {v}"));
+        }
+        if let Some(n) = row.live_nodes {
+            memory.push_str(&format!(", \"live_nodes\": {n}"));
+        }
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"mops\": {:.6}}}{comma}\n",
+            "    {{\"id\": \"{}\", \"mops\": {:.6}{memory}}}{comma}\n",
             escape_json(&row.id),
             row.mops
         ));
@@ -269,8 +314,8 @@ mod tests {
     fn smoke_produces_a_row_per_scenario() {
         let rows = run_smoke(&tiny());
         // 6 ordered + 6 hashmap (2 skews x 3 contenders) + 2 query rows
-        // + 2 view-ablation rows + 1 composed row + 3 reclaim rows.
-        assert_eq!(rows.len(), 20);
+        // + 2 view-ablation rows + 1 composed row + 4 reclaim rows.
+        assert_eq!(rows.len(), 21);
         let ids: std::collections::HashSet<_> = rows.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids.len(), rows.len(), "duplicate smoke ids");
         // The view-amortization comparison and the cross-structure scenario must land in
@@ -283,8 +328,17 @@ mod tests {
         assert!(ids.contains("reclaim/none"));
         assert!(ids.contains("reclaim/amortized"));
         assert!(ids.contains("reclaim/background"));
+        assert!(ids.contains("reclaim/adaptive"));
         for row in &rows {
             assert!(row.mops > 0.0, "{} reported zero throughput", row.id);
+            if row.id.starts_with("reclaim/") {
+                // Memory rows: the bench archives memory boundedness, not just speed
+                // (the hard bound is asserted inside `run_smoke`).
+                assert!(row.live_versions.is_some(), "{} missing live_versions", row.id);
+                assert!(row.live_nodes.is_some(), "{} missing live_nodes", row.id);
+            } else {
+                assert!(row.live_versions.is_none() && row.live_nodes.is_none());
+            }
         }
     }
 
@@ -292,14 +346,26 @@ mod tests {
     fn json_is_well_formed_enough() {
         let cfg = tiny();
         let rows = vec![
-            SmokeRow { id: "a/b".to_string(), mops: 1.25 },
-            SmokeRow { id: "c\"d\\e".to_string(), mops: 0.5 },
+            SmokeRow::throughput("a/b".to_string(), 1.25),
+            SmokeRow::throughput("c\"d\\e".to_string(), 0.5),
+            SmokeRow {
+                id: "reclaim/none".to_string(),
+                mops: 2.0,
+                live_versions: Some(129),
+                live_nodes: Some(131),
+            },
         ];
         let json = to_json(&cfg, &rows);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("{\"id\": \"a/b\", \"mops\": 1.250000}"));
         assert!(json.contains("c\\\"d\\\\e"));
+        // Reclaim rows carry the memory fields; throughput rows omit them.
+        assert!(json.contains(
+            "{\"id\": \"reclaim/none\", \"mops\": 2.000000, \
+             \"live_versions\": 129, \"live_nodes\": 131}"
+        ));
+        assert!(!json.contains("\"mops\": 1.250000, \"live"));
         // Balanced braces/brackets (cheap structural check without a JSON parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

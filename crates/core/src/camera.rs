@@ -222,6 +222,52 @@ impl Camera {
             .saturating_sub(self.reclaim.dropped())
     }
 
+    /// Total data-structure nodes allocated by structures on this camera. Called by the
+    /// data-structure implementations at allocation sites; read it for monitoring.
+    pub fn nodes_created(&self) -> u64 {
+        self.reclaim.nodes_created()
+    }
+
+    /// Total data-structure nodes retired because their version-held reference count hit
+    /// zero — the node-reclamation analogue of [`Camera::versions_retired`]
+    /// (see [`crate::versioned_ptr::VersionReferenced`]).
+    pub fn nodes_retired(&self) -> u64 {
+        self.reclaim.nodes_retired()
+    }
+
+    /// Total data-structure nodes freed directly by a structure: a node that lost its
+    /// publication race, or a sentinel freed by the structure's destructor.
+    pub fn nodes_dropped(&self) -> u64 {
+        self.reclaim.nodes_dropped()
+    }
+
+    /// Approximate number of live data-structure nodes across every structure on this
+    /// camera: created − retired − dropped. With reclamation quiesced and EBR drained
+    /// this equals the nodes reachable from the structures' current states; a steadily
+    /// growing value under a steady-state workload is the signature of a leak.
+    pub fn approx_live_nodes(&self) -> u64 {
+        self.reclaim
+            .nodes_created()
+            .saturating_sub(self.reclaim.nodes_retired())
+            .saturating_sub(self.reclaim.nodes_dropped())
+    }
+
+    /// Records `n` data-structure node allocations (called by structure implementations;
+    /// see [`Camera::nodes_created`]).
+    pub fn note_nodes_created(&self, n: u64) {
+        self.reclaim.note_nodes_created(n);
+    }
+
+    /// Records `n` data-structure nodes freed directly by a structure (failed publication,
+    /// sentinel teardown; see [`Camera::nodes_dropped`]).
+    pub fn note_nodes_dropped(&self, n: u64) {
+        self.reclaim.note_nodes_dropped(n);
+    }
+
+    pub(crate) fn note_nodes_retired(&self, n: u64) {
+        self.reclaim.note_nodes_retired(n);
+    }
+
     pub(crate) fn set_amortized_reclaim(&self, every_n_updates: u64, budget: usize) {
         self.reclaim.set_amortized(every_n_updates, budget);
     }

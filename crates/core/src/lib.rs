@@ -77,7 +77,7 @@ pub use group::{CameraAttached, CameraGroup, GroupRegisterError, GroupSnapshot};
 pub use reclaim::{CollectStats, Collectible, Collector, ReclaimPolicy, VersionStats};
 pub use snapshot::{PinnedSnapshot, SnapshotHandle};
 pub use versioned::VersionedCas;
-pub use versioned_ptr::VersionedPtr;
+pub use versioned_ptr::{release_node_ref, VersionReferenced, VersionedPtr};
 
 /// The placeholder timestamp stored in a freshly created version node before `initTS` stamps
 /// it with a value read from the camera ("to-be-decided" in the paper).

@@ -134,6 +134,19 @@ pub enum ReclaimPolicy {
         /// Cells truncated per structure per sweep.
         budget: usize,
     },
+    /// A background [`Collector`] that tunes its own interval: after each sweep it
+    /// compares [`Camera::approx_live_versions`] with the previous sweep's value and
+    /// halves the interval when live versions grew (it is falling behind) or doubles it
+    /// when they shrank (it is winning and can back off), floored at 1ms and capped at
+    /// `max(initial_interval_ms, 1024)`. Services get reclamation that tracks their
+    /// version production rate without hand-tuning `interval_ms`.
+    Adaptive {
+        /// Starting sleep between sweeps, in milliseconds (also the baseline for the
+        /// interval cap).
+        initial_interval_ms: u64,
+        /// Cells truncated per structure per sweep.
+        budget: usize,
+    },
 }
 
 impl ReclaimPolicy {
@@ -155,16 +168,54 @@ impl ReclaimPolicy {
                 camera.set_amortized_reclaim(0, 0);
                 Some(Collector::start(camera.clone(), Duration::from_millis(interval_ms), budget))
             }
+            ReclaimPolicy::Adaptive { initial_interval_ms, budget } => {
+                camera.set_amortized_reclaim(0, 0);
+                Some(Collector::start_adaptive(
+                    camera.clone(),
+                    Duration::from_millis(initial_interval_ms),
+                    budget,
+                ))
+            }
         }
     }
 
-    /// Compact label for bench output (`none` / `amortized` / `background`).
+    /// Compact label for bench output (`none` / `amortized` / `background` / `adaptive`).
     pub fn label(&self) -> &'static str {
         match self {
             ReclaimPolicy::Disabled => "none",
             ReclaimPolicy::Amortized { .. } => "amortized",
             ReclaimPolicy::Background { .. } => "background",
+            ReclaimPolicy::Adaptive { .. } => "adaptive",
         }
+    }
+}
+
+/// One registered structure plus its cached *version debt* — retained versions over the
+/// one-per-cell baseline, from [`Collectible::version_stats`] — which weights slice
+/// collection toward the structures that actually hold reclaimable history.
+struct RegEntry {
+    /// Stable identity for post-collection debt updates (indices shift as dead entries
+    /// are pruned).
+    id: u64,
+    member: Weak<dyn Collectible>,
+    /// Cached debt, decremented by each slice's retirements and refreshed (bounded) when
+    /// every entry's cache runs dry.
+    debt: u64,
+}
+
+/// The collectible registry: entries with cached debts plus the refresh throttle.
+struct Registry {
+    entries: Vec<RegEntry>,
+    /// Slices to serve round-robin before the next all-entries debt refresh is allowed
+    /// (recomputing debts walks every cell of every structure, so it is rationed to at
+    /// most once per registry-sized run of slices).
+    until_refresh: usize,
+    next_id: u64,
+}
+
+impl Registry {
+    fn prune(&mut self) {
+        self.entries.retain(|e| e.member.strong_count() > 0);
     }
 }
 
@@ -172,9 +223,11 @@ impl ReclaimPolicy {
 /// the version counters. Owned by [`Camera`]; every public entry point is a `Camera`
 /// method.
 pub(crate) struct ReclaimState {
-    /// Registered structures (`Weak`: dropping a structure unregisters it).
-    registry: Mutex<Vec<Weak<dyn Collectible>>>,
-    /// Round-robin cursor over the registry for slice collection.
+    /// Registered structures (`Weak`: dropping a structure unregisters it) with their
+    /// cached version debts.
+    registry: Mutex<Registry>,
+    /// Round-robin cursor over the registry, used when no cached debt separates the
+    /// members (all idle, or caches drained between refreshes).
     cursor: AtomicUsize,
     /// Successful updates observed via [`Camera::reclaim_tick`].
     ticks: AtomicU64,
@@ -193,12 +246,20 @@ pub(crate) struct ReclaimState {
     /// publication, or structure drop) — kept separate from `retired` so the truncation
     /// counter stays a pure signal of the reclamation drivers.
     dropped: AtomicU64,
+    /// Data-structure nodes ever allocated by structures on this camera.
+    nodes_created: AtomicU64,
+    /// Data-structure nodes retired because their version-held reference count hit zero
+    /// (see [`crate::versioned_ptr::VersionReferenced`]).
+    nodes_retired: AtomicU64,
+    /// Data-structure nodes freed directly by a structure (failed publication, sentinels
+    /// at structure drop) rather than through the reference-count protocol.
+    nodes_dropped: AtomicU64,
 }
 
 impl ReclaimState {
     pub(crate) fn new() -> ReclaimState {
         ReclaimState {
-            registry: Mutex::new(Vec::new()),
+            registry: Mutex::new(Registry { entries: Vec::new(), until_refresh: 0, next_id: 0 }),
             cursor: AtomicUsize::new(0),
             ticks: AtomicU64::new(0),
             every_n: AtomicU64::new(0),
@@ -207,7 +268,34 @@ impl ReclaimState {
             created: AtomicU64::new(0),
             retired: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            nodes_created: AtomicU64::new(0),
+            nodes_retired: AtomicU64::new(0),
+            nodes_dropped: AtomicU64::new(0),
         }
+    }
+
+    pub(crate) fn note_nodes_created(&self, n: u64) {
+        self.nodes_created.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_nodes_retired(&self, n: u64) {
+        self.nodes_retired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_nodes_dropped(&self, n: u64) {
+        self.nodes_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn nodes_created(&self) -> u64 {
+        self.nodes_created.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn nodes_retired(&self) -> u64 {
+        self.nodes_retired.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn nodes_dropped(&self) -> u64 {
+        self.nodes_dropped.load(Ordering::Relaxed)
     }
 
     pub(crate) fn note_created(&self, n: u64) {
@@ -241,12 +329,18 @@ impl ReclaimState {
 
     pub(crate) fn register(&self, member: Weak<dyn Collectible>) {
         let mut registry = self.registry.lock();
-        registry.retain(|w| w.strong_count() > 0);
-        registry.push(member);
+        registry.prune();
+        let id = registry.next_id;
+        registry.next_id += 1;
+        // A fresh structure has no debt yet; clearing the refresh throttle lets the next
+        // all-caches-dry slice re-measure immediately so the newcomer is weighed in.
+        // (Cached debts only ever decay — see `note_slice_result` — so the gate reopens.)
+        registry.entries.push(RegEntry { id, member, debt: 0 });
+        registry.until_refresh = 0;
     }
 
     pub(crate) fn registered_count(&self) -> usize {
-        self.registry.lock().iter().filter(|w| w.strong_count() > 0).count()
+        self.registry.lock().entries.iter().filter(|e| e.member.strong_count() > 0).count()
     }
 
     /// Should this tick trigger a collection slice, and with what budget?
@@ -259,22 +353,93 @@ impl ReclaimState {
         (tick % every_n == 0).then(|| self.budget.load(Ordering::Relaxed))
     }
 
-    /// The next registered collectible in round-robin order, pruning dead entries.
-    fn next_member(&self) -> Option<Arc<dyn Collectible>> {
-        let mut registry = self.registry.lock();
-        registry.retain(|w| w.strong_count() > 0);
-        if registry.is_empty() {
-            return None;
+    /// Picks the registered collectible with the largest cached version debt (pruning dead
+    /// entries), so a hot structure is not starved by idle ones taking equal round-robin
+    /// turns. When every cache is dry, debts are refreshed from
+    /// [`Collectible::version_stats`] — at most once per registry-sized run of slices,
+    /// with plain round-robin serving the slices in between.
+    fn next_member(&self, guard: &Guard) -> Option<(Arc<dyn Collectible>, u64)> {
+        // Decide whether a refresh is due under the lock, but run the `version_stats`
+        // walks (O(cells) per structure) outside it: a refresh must not block
+        // register()/members() — and with them a concurrently sweeping collector — for
+        // a whole-registry scan. Passes are serialized by `collecting`, so no second
+        // refresh can interleave.
+        let refresh_targets: Option<Vec<(u64, Weak<dyn Collectible>)>> = {
+            let mut registry = self.registry.lock();
+            registry.prune();
+            if registry.entries.is_empty() {
+                return None;
+            }
+            if registry.entries.iter().all(|e| e.debt == 0) {
+                if registry.until_refresh == 0 {
+                    registry.until_refresh = registry.entries.len();
+                    Some(registry.entries.iter().map(|e| (e.id, e.member.clone())).collect())
+                } else {
+                    registry.until_refresh -= 1;
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(targets) = refresh_targets {
+            let debts: Vec<(u64, u64)> = targets
+                .into_iter()
+                .filter_map(|(id, weak)| {
+                    weak.upgrade().map(|member| {
+                        let stats = member.version_stats(guard);
+                        (id, stats.versions.saturating_sub(stats.cells) as u64)
+                    })
+                })
+                .collect();
+            let mut registry = self.registry.lock();
+            for (id, debt) in debts {
+                if let Some(entry) = registry.entries.iter_mut().find(|e| e.id == id) {
+                    entry.debt = debt;
+                }
+            }
         }
-        let idx = self.cursor.fetch_add(1, Ordering::Relaxed) % registry.len();
-        registry[idx].upgrade()
+        let registry = self.registry.lock();
+        let idx = match registry
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.debt > 0)
+            .max_by_key(|(_, e)| e.debt)
+        {
+            Some((idx, _)) => idx,
+            // Nothing owes anything (or caches are dry): plain round-robin.
+            None => self.cursor.fetch_add(1, Ordering::Relaxed) % registry.entries.len(),
+        };
+        let entry = &registry.entries[idx];
+        entry.member.upgrade().map(|m| (m, entry.id))
+    }
+
+    /// Settles a finished slice against the member's cached debt. The cache must always
+    /// move toward zero, even when the slice retired nothing — debt that is not currently
+    /// reclaimable (history a pinned snapshot still holds, measured before the pin) must
+    /// not keep winning `max_by_key` forever, or every other member starves behind it and
+    /// the all-zero refresh gate never reopens.
+    fn note_slice_result(&self, id: u64, stats: CollectStats) {
+        let mut registry = self.registry.lock();
+        let Some(entry) = registry.entries.iter_mut().find(|e| e.id == id) else { return };
+        if stats.versions_retired > 0 {
+            entry.debt = entry.debt.saturating_sub(stats.versions_retired as u64);
+        } else if stats.completed_cycle {
+            // A full pass over the structure retired nothing: whatever the cache claims,
+            // none of it is reclaimable right now.
+            entry.debt = 0;
+        } else {
+            // A fruitless partial slice: decay by the ground it covered.
+            entry.debt = entry.debt.saturating_sub(stats.cells_visited.max(1) as u64);
+        }
     }
 
     /// Every live registered collectible, in registration order.
     fn members(&self) -> Vec<Arc<dyn Collectible>> {
         let mut registry = self.registry.lock();
-        registry.retain(|w| w.strong_count() > 0);
-        registry.iter().filter_map(Weak::upgrade).collect()
+        registry.prune();
+        registry.entries.iter().filter_map(|e| e.member.upgrade()).collect()
     }
 
     /// Runs `pass` unless another collection pass is already in flight. The in-flight flag
@@ -300,8 +465,12 @@ impl ReclaimState {
         budget: usize,
         guard: &Guard,
     ) -> CollectStats {
-        self.exclusive(|| match self.next_member() {
-            Some(member) => member.collect_bounded(min_active, budget, guard),
+        self.exclusive(|| match self.next_member(guard) {
+            Some((member, id)) => {
+                let stats = member.collect_bounded(min_active, budget, guard);
+                self.note_slice_result(id, stats);
+                stats
+            }
             None => CollectStats { completed_cycle: true, ..CollectStats::default() },
         })
     }
@@ -330,6 +499,9 @@ impl ReclaimState {
 /// left mid-flight.
 pub struct Collector {
     stop: Arc<AtomicBool>,
+    /// Current sweep interval in milliseconds (constant for [`Collector::start`], tuned
+    /// by the thread for [`Collector::start_adaptive`]); shared for observability.
+    interval_ms: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -338,12 +510,28 @@ impl Collector {
     /// structure every `interval` (floored at 1ms — a zero interval would busy-spin the
     /// thread, starving everything else on small machines).
     pub fn start(camera: Arc<Camera>, interval: Duration, budget: usize) -> Collector {
+        Self::spawn(camera, interval, budget, false)
+    }
+
+    /// Spawns a *self-tuning* collector: after each sweep the interval is halved when
+    /// [`Camera::approx_live_versions`] grew since the previous sweep (production is
+    /// outpacing collection) and doubled when it shrank, floored at 1ms and capped at
+    /// `max(initial interval, 1024ms)`. See [`ReclaimPolicy::Adaptive`].
+    pub fn start_adaptive(camera: Arc<Camera>, initial: Duration, budget: usize) -> Collector {
+        Self::spawn(camera, initial, budget, true)
+    }
+
+    fn spawn(camera: Arc<Camera>, interval: Duration, budget: usize, adaptive: bool) -> Collector {
         let interval = interval.max(Duration::from_millis(1));
+        let max_interval_ms = (interval.as_millis() as u64).max(1024);
         let stop = Arc::new(AtomicBool::new(false));
+        let interval_ms = Arc::new(AtomicU64::new(interval.as_millis() as u64));
         let stop_flag = stop.clone();
+        let interval_shared = interval_ms.clone();
         let handle = std::thread::Builder::new()
             .name("vcas-collector".to_string())
             .spawn(move || {
+                let mut last_live = camera.approx_live_versions();
                 while !stop_flag.load(Ordering::Relaxed) {
                     {
                         let guard = vcas_ebr::pin();
@@ -352,7 +540,19 @@ impl Collector {
                     // Push the retired version nodes through the epoch machinery so memory
                     // is actually returned, not just unlinked.
                     vcas_ebr::flush();
+                    let mut cur = interval_shared.load(Ordering::Relaxed);
+                    if adaptive {
+                        let live = camera.approx_live_versions();
+                        if live > last_live {
+                            cur = (cur / 2).max(1);
+                        } else if live < last_live {
+                            cur = (cur * 2).min(max_interval_ms);
+                        }
+                        interval_shared.store(cur, Ordering::Relaxed);
+                        last_live = live;
+                    }
                     // Sleep in small steps so stop() stays responsive.
+                    let interval = Duration::from_millis(cur);
                     let step = Duration::from_millis(2).min(interval);
                     let mut slept = Duration::ZERO;
                     while slept < interval && !stop_flag.load(Ordering::Relaxed) {
@@ -362,7 +562,13 @@ impl Collector {
                 }
             })
             .expect("failed to spawn vcas-collector thread");
-        Collector { stop, handle: Some(handle) }
+        Collector { stop, interval_ms, handle: Some(handle) }
+    }
+
+    /// The collector's current sweep interval in milliseconds — constant for
+    /// [`Collector::start`], live-tuned for [`Collector::start_adaptive`].
+    pub fn current_interval_ms(&self) -> u64 {
+        self.interval_ms.load(Ordering::Relaxed)
     }
 
     /// Signals the collector thread to exit and joins it.
@@ -506,6 +712,69 @@ mod tests {
         assert_eq!(cells.version_stats(&guard).max_versions_per_cell, 1);
     }
 
+    /// Satellite regression (ROADMAP "Weighted registry fairness"): slice collection
+    /// weights members by version debt (`version_stats`: cells × versions over the
+    /// one-per-cell baseline), so a hot structure is served immediately instead of
+    /// waiting behind idle structures' empty round-robin turns.
+    #[test]
+    fn weighted_slices_prefer_the_hot_structure_over_an_idle_one() {
+        let camera = Camera::new();
+        let idle = Arc::new(Cells::new(&camera, 8));
+        let hot = Arc::new(Cells::new(&camera, 8));
+        // Idle first: strict round-robin would hand the first slice to it and retire
+        // nothing.
+        camera.register_collectible(&idle);
+        camera.register_collectible(&hot);
+        let guard = pin();
+        hot.churn(20, &guard);
+
+        let s1 = camera.collect_slice(64, &guard);
+        assert!(s1.versions_retired > 0, "first slice starved the hot structure: {s1:?}");
+        assert_eq!(
+            idle.version_stats(&guard).max_versions_per_cell,
+            1,
+            "the idle structure had nothing to collect"
+        );
+        // Follow-up slices drain the hot structure completely.
+        for _ in 0..8 {
+            camera.collect_slice(64, &guard);
+        }
+        assert_eq!(hot.version_stats(&guard).max_versions_per_cell, 1);
+    }
+
+    /// Review regression: cached debt that *cannot currently be retired* (history a pin
+    /// still protects) must decay instead of winning every slice — otherwise the member
+    /// holding it starves everyone else for as long as the pin lives.
+    #[test]
+    fn unreclaimable_debt_does_not_pin_slice_selection() {
+        let camera = Camera::new();
+        let stuck = Arc::new(Cells::new(&camera, 4));
+        let busy = Arc::new(Cells::new(&camera, 4));
+        camera.register_collectible(&stuck);
+        camera.register_collectible(&busy);
+        let guard = pin();
+        let _pin = camera.pin_snapshot();
+        // `stuck`: the larger debt, all distinct-timestamp history above the pin — real
+        // versions, none reclaimable while the pin lives.
+        stuck.churn(30, &guard);
+        // `busy`: smaller debt, but same-timestamp bursts — its intermediates are dead
+        // and reclaimable even under the pin.
+        for cell in &busy.cells {
+            for _ in 0..10 {
+                let cur = cell.read(&guard);
+                assert!(cell.compare_and_swap(cur, cur + 1, &guard));
+            }
+        }
+        // Old behavior: `stuck` won every `max_by_key` pick, retired nothing, and its
+        // debt never decayed, so `busy` was never served.
+        let mut retired = 0;
+        for _ in 0..8 {
+            retired += camera.collect_slice(64, &guard).versions_retired;
+        }
+        assert!(retired > 0, "reclaimable member starved behind unreclaimable debt");
+        assert!(busy.version_stats(&guard).max_versions_per_cell <= 2);
+    }
+
     #[test]
     fn dropping_a_collectible_unregisters_it() {
         let camera = Camera::new();
@@ -583,6 +852,48 @@ mod tests {
         collector.stop();
     }
 
+    /// Satellite regression (ROADMAP "Adaptive reclaim policy", first cut): the adaptive
+    /// collector halves its interval while live versions grow across sweeps (it is losing
+    /// ground) and doubles it back once they shrink, floored at 1ms — no hand-tuned
+    /// `interval_ms`.
+    #[test]
+    fn adaptive_collector_tunes_its_interval_to_the_load() {
+        const INITIAL_MS: u64 = 64;
+        let camera = Camera::new();
+        // Many cells + budget 1: each sweep retires at most one cell's list, so under
+        // churn the collector demonstrably falls behind, and after churn stops it has a
+        // long tail of shrinking sweeps during which it backs off.
+        let cells = Arc::new(Cells::new(&camera, 64));
+        camera.register_collectible(&cells);
+        let collector = ReclaimPolicy::Adaptive { initial_interval_ms: INITIAL_MS, budget: 1 }
+            .install(&camera)
+            .expect("adaptive policy starts a collector");
+        assert_eq!(collector.current_interval_ms(), INITIAL_MS);
+
+        // Outpace the collector until it reacts by shrinking the interval.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while collector.current_interval_ms() >= INITIAL_MS {
+            assert!(std::time::Instant::now() < deadline, "interval never shrank under load");
+            let guard = pin();
+            cells.churn(2, &guard);
+        }
+
+        // Load stops; from here live versions only shrink (or hold), so the interval only
+        // grows (or holds) — and the dirty-cell backlog guarantees shrinking sweeps
+        // remain. Wait for at least one doubling past the level observed now.
+        let floor = collector.current_interval_ms();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while collector.current_interval_ms() <= floor {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "interval never backed off after the load stopped (floor {floor}ms)"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(collector.current_interval_ms() >= 1);
+        collector.stop();
+    }
+
     #[test]
     fn counters_track_created_and_retired() {
         let camera = Camera::new();
@@ -604,5 +915,9 @@ mod tests {
         assert_eq!(ReclaimPolicy::Disabled.label(), "none");
         assert_eq!(ReclaimPolicy::Amortized { every_n_updates: 1, budget: 1 }.label(), "amortized");
         assert_eq!(ReclaimPolicy::Background { interval_ms: 1, budget: 1 }.label(), "background");
+        assert_eq!(
+            ReclaimPolicy::Adaptive { initial_interval_ms: 1, budget: 1 }.label(),
+            "adaptive"
+        );
     }
 }

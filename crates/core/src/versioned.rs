@@ -26,11 +26,33 @@ use crate::TBD;
 ///
 /// `T` must be `Copy + Eq`: values are small words (integers, packed pointers). For versioned
 /// *pointers* to data-structure nodes use the typed wrapper [`crate::VersionedPtr`].
-pub struct VersionedCas<T> {
+pub struct VersionedCas<T: Copy> {
     head: Atomic<VNode<T>>,
     camera: Arc<Camera>,
     /// Serializes version-list truncation (never touched by reads/CASes).
     truncating: AtomicBool,
+    /// Optional value lifecycle hook: invoked once per version node holding a value
+    /// (acquire at creation, release at destruction). This is how
+    /// [`crate::VersionedPtr::from_shared_managed`] threads data-node reference counting
+    /// through the version list — see [`ValueHook`].
+    hook: Option<ValueHook<T>>,
+}
+
+/// Per-value lifecycle callbacks attached to a versioned CAS object (monomorphized plain
+/// function pointers, so a hooked cell costs two words over an unhooked one).
+///
+/// The contract: `acquire(v)` is called exactly once for every version node created with
+/// value `v` (before the node is published), and `release(v, camera, guard)` exactly once
+/// when that version node is destroyed — by truncation, by a failed publication, or by the
+/// cell's destructor. Releases triggered by truncation run under the truncating thread's
+/// guard, so a release that frees memory must defer through the guard (epoch-based
+/// reclamation), never free immediately.
+#[derive(Clone, Copy)]
+pub(crate) struct ValueHook<T> {
+    /// Called when a version node holding the value is created (pre-publication).
+    pub(crate) acquire: fn(T),
+    /// Called when a version node holding the value is destroyed.
+    pub(crate) release: fn(T, &Arc<Camera>, &Guard),
 }
 
 unsafe impl<T: Copy + Send + Sync> Send for VersionedCas<T> {}
@@ -39,6 +61,15 @@ unsafe impl<T: Copy + Send + Sync> Sync for VersionedCas<T> {}
 impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     /// Creates a versioned CAS object holding `initial`, associated with `camera`.
     pub fn new(initial: T, camera: &Arc<Camera>) -> Self {
+        Self::with_hook(initial, camera, None)
+    }
+
+    /// Creates a versioned CAS object with a value lifecycle hook (see [`ValueHook`]).
+    /// `hook.acquire` is invoked for `initial` before this returns.
+    pub(crate) fn with_hook(initial: T, camera: &Arc<Camera>, hook: Option<ValueHook<T>>) -> Self {
+        if let Some(h) = hook {
+            (h.acquire)(initial);
+        }
         let node = Owned::new(VNode::initial(initial));
         // Stamp the initial version immediately (constructor runs before any concurrent
         // access, so a plain store of the current timestamp is the paper's initTS).
@@ -48,6 +79,15 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
             head: Atomic::from_owned(node),
             camera: camera.clone(),
             truncating: AtomicBool::new(false),
+            hook,
+        }
+    }
+
+    /// Invokes the release hook (if any) for a value whose version node is being destroyed.
+    #[inline]
+    fn release_value(&self, val: T, guard: &Guard) {
+        if let Some(h) = self.hook {
+            (h.release)(val, &self.camera, guard);
         }
     }
 
@@ -87,6 +127,11 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         if new == old {
             return true;
         }
+        // Acquire before the node can become visible, so a concurrent truncation that
+        // destroys the (published) node always finds the reference already counted.
+        if let Some(h) = self.hook {
+            (h.acquire)(new);
+        }
         let new_node = Owned::new(VNode::new(new, head)).into_shared(guard);
         match self.head.compare_exchange(head, new_node, Ordering::SeqCst, Ordering::SeqCst, guard)
         {
@@ -98,6 +143,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
             Err(err) => {
                 // The node was never published; reclaim it immediately (Algorithm 1 line 50).
                 unsafe { drop(err.new.into_owned()) };
+                self.release_value(new, guard);
                 // Help the vCAS that beat us stamp its node before we report failure.
                 let current = self.head.load(Ordering::SeqCst, guard);
                 self.init_ts(unsafe { current.deref() });
@@ -179,13 +225,24 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         count
     }
 
-    /// Truncates the version list: every version strictly older than the newest version with
-    /// timestamp `<= min_active` is unlinked and retired through epoch-based reclamation.
+    /// Truncates the version list, retiring through epoch-based reclamation:
+    ///
+    /// 1. every version strictly older than the newest version with timestamp
+    ///    `<= min_active` (invisible to every pinned and future snapshot), and
+    /// 2. every *dead same-timestamp intermediate* above `min_active`: a version shadowed
+    ///    by a strictly newer version carrying the **same** timestamp. `read_snapshot`
+    ///    walks newest-first and stops at the first version with `ts <= handle`, so the
+    ///    shadowed one can never be returned for any handle — collecting it bounds the
+    ///    list's length by the number of *distinct* retained timestamps (+1 for the cut
+    ///    version), even under a long-lived pin.
     ///
     /// `min_active` should come from [`Camera::min_active`]; versions that a pinned snapshot
     /// may still need are never reclaimed. Returns the number of versions retired.
     pub fn collect_before(&self, min_active: u64, guard: &Guard) -> usize {
         // Only one truncation at a time per object; contention here just skips the work.
+        // (Serialization also means `nextv` is only ever rewritten by one thread at a time:
+        // interior unlinks below race only with readers, which see either the old chain —
+        // the unlinked node stays intact until its grace period — or the new one.)
         if self
             .truncating
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
@@ -197,8 +254,9 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         let head = self.head.load(Ordering::SeqCst, guard);
         let mut node = unsafe { head.deref() };
         self.init_ts(node);
-        // Find the newest version with ts <= min_active: everything *after* it is invisible
-        // to every pinned snapshot and to all future snapshots.
+        // Walk toward the newest version with ts <= min_active, unlinking dead
+        // same-timestamp intermediates on the way; everything *after* the cut version is
+        // invisible to every pinned snapshot and to all future snapshots.
         loop {
             let ts = node.ts.load(Ordering::SeqCst);
             let next = node.nextv.load(Ordering::SeqCst, guard);
@@ -209,6 +267,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                     let mut cur = next;
                     while let Some(n) = unsafe { cur.as_ref() } {
                         let after = n.nextv.load(Ordering::SeqCst, guard);
+                        self.release_value(n.val, guard);
                         unsafe { guard.defer_destroy(cur) };
                         retired += 1;
                         cur = after;
@@ -216,10 +275,21 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                 }
                 break;
             }
-            match unsafe { next.as_ref() } {
-                Some(older) => node = older,
-                None => break,
+            let Some(older) = (unsafe { next.as_ref() }) else { break };
+            // Only the head can still be TBD, and `init_ts` above stamped it, so every
+            // node on this walk has a valid timestamp; the checks are belt-and-braces.
+            if ts != TBD && older.ts.load(Ordering::SeqCst) == ts {
+                // `older` is shadowed by `node` at the same timestamp: unreadable by any
+                // handle (a reader that got past `node` has handle < ts and skips `older`
+                // too), so unlink it in place and keep examining `node`'s new successor.
+                let after = older.nextv.load(Ordering::SeqCst, guard);
+                node.nextv.store(after, Ordering::SeqCst);
+                self.release_value(older.val, guard);
+                unsafe { guard.defer_destroy(next) };
+                retired += 1;
+                continue;
             }
+            node = older;
         }
         self.truncating.store(false, Ordering::Release);
         if retired > 0 {
@@ -229,17 +299,28 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     }
 }
 
-impl<T> Drop for VersionedCas<T> {
+impl<T: Copy> Drop for VersionedCas<T> {
     fn drop(&mut self) {
         // Exclusive access: walk the version list and free every node. The freed versions
         // count toward the camera's retired total — without this, every cell destroyed
         // through node unlinking (list/BST removes) would leave `approx_live_versions`
         // drifting upward forever.
+        //
+        // A hooked cell releases each freed version's value: this is the link that makes
+        // data-node reclamation cascade — destroying a node's cell drops the version-held
+        // references it was keeping, retiring any child node whose count hits zero. The
+        // releases defer through a fresh guard (this destructor may itself be running as
+        // deferred work; guards nest).
+        let guard = if self.hook.is_some() { Some(vcas_ebr::pin()) } else { None };
         let mut freed = 0u64;
         unsafe {
             let mut cur = self.head.load_unprotected(Ordering::Relaxed);
             while !cur.is_null() {
-                let next = cur.deref().nextv.load_unprotected(Ordering::Relaxed);
+                let node = cur.deref();
+                let next = node.nextv.load_unprotected(Ordering::Relaxed);
+                if let (Some(h), Some(g)) = (&self.hook, &guard) {
+                    (h.release)(node.val, &self.camera, g);
+                }
                 drop(cur.into_owned());
                 freed += 1;
                 cur = next;
@@ -374,6 +455,48 @@ mod tests {
         assert!(retired2 > 0);
         assert_eq!(v.version_count(&g), 1, "only the newest version remains");
         assert_eq!(v.read(&g), 30);
+    }
+
+    /// Tentpole regression: same-timestamp intermediates above `min_active` are dead — no
+    /// snapshot handle can ever read them — so `collect_before` unlinks them even while a
+    /// long-lived pin holds `min_active` down, bounding the list by the number of distinct
+    /// retained timestamps (+1 for the version at the cut). Pinned reads stay frozen.
+    #[test]
+    fn collect_before_unlinks_dead_same_timestamp_intermediates() {
+        let cam = Camera::new();
+        let v = VersionedCas::new(0u64, &cam);
+        let g = pin();
+        // Pin at the very start: min_active stays at the pin for the whole test, so plain
+        // truncation could reclaim nothing but the pre-pin history.
+        let pinned = cam.pin_snapshot();
+        // Two bursts of CASes with no snapshot inside a burst: each burst shares one
+        // timestamp, so all but the newest version of each burst are unreadable.
+        for i in 0..10u64 {
+            assert!(v.compare_and_swap(i, i + 1, &g));
+        }
+        cam.take_snapshot();
+        for i in 10..20u64 {
+            assert!(v.compare_and_swap(i, i + 1, &g));
+        }
+        assert_eq!(v.version_count(&g), 21);
+        let frozen = v.read_snapshot(pinned.handle(), &g);
+
+        let retired = v.collect_before(cam.min_active(), &g);
+        assert_eq!(retired, 18, "9 shadowed intermediates per burst must be unlinked");
+        // What remains: the newest version of each burst plus the pinned-era version, all
+        // with pairwise-distinct timestamps above the cut.
+        let versions = v.versions(&g);
+        assert_eq!(versions.len(), 3);
+        for pair in versions.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "no same-timestamp pair survives: {versions:?}");
+        }
+        assert_eq!(v.read_snapshot(pinned.handle(), &g), frozen, "pinned read must not move");
+        assert_eq!(v.read(&g), 20);
+        drop(pinned);
+        // With the pin gone a full truncation collapses the list to the current version.
+        assert!(v.collect_before(cam.min_active(), &g) > 0);
+        assert_eq!(v.version_count(&g), 1);
+        assert_eq!(v.read(&g), 20);
     }
 
     /// Satellite regression: a raw (unpinned) handle whose versions were truncated away

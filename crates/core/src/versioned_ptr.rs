@@ -8,13 +8,80 @@
 //! bits that Harris-style lists use as deletion marks.
 
 use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vcas_ebr::{Guard, Owned, Shared};
 
 use crate::camera::Camera;
 use crate::snapshot::SnapshotHandle;
-use crate::versioned::VersionedCas;
+use crate::versioned::{ValueHook, VersionedCas};
+
+/// A data-structure node whose lifetime is governed by version-held reference counting.
+///
+/// Truncating a version list can destroy the last pointer through which an unlinked node
+/// was still reachable; without accounting, that node leaks until the structure drops.
+/// A `VersionReferenced` node instead carries a counter with one reference per *retained
+/// version node* (in any cell of any structure on the camera) whose pointer word targets
+/// it, plus one *creator reference* held by the allocating thread until publication:
+///
+/// * nodes are allocated with the counter at **1** (the creator reference);
+/// * every version node created with a (tag-stripped, non-null) pointer to the node adds a
+///   reference before publication and drops it when the version node is destroyed
+///   (managed cells — [`VersionedPtr::from_shared_managed`] — do this automatically);
+/// * after *successfully publishing* a new node, the creating thread drops the creator
+///   reference with [`release_node_ref`]; on a failed publication it still owns the node
+///   and frees it directly, exactly as an unversioned structure would.
+///
+/// When the counter hits zero no retained version references the node and no thread can
+/// republish it (pointers are only ever re-CASed from *current* head versions, whose
+/// references are counted), so it is retired to epoch-based reclamation and counted into
+/// [`Camera::nodes_retired`]. Destroying the node drops its own cells, releasing the
+/// references *they* held — reclamation cascades through exactly the nodes that became
+/// unreachable, however they became so.
+///
+/// # Safety
+///
+/// Implementors promise that `version_refs` returns a counter used exclusively by this
+/// protocol, and that pointer words read from **snapshot** (non-head) versions are never
+/// republished into a CAS — republication must always derive from a current read whose
+/// version-held reference is still counted (true of head-version reads under a guard).
+pub unsafe trait VersionReferenced: Sized + Send + Sync + 'static {
+    /// The node's version-held reference counter.
+    fn version_refs(&self) -> &AtomicU64;
+}
+
+/// Drops one reference to `node` (a creator reference after successful publication, or a
+/// version-held reference); if it was the last, retires the node to epoch-based
+/// reclamation and counts it into [`Camera::nodes_retired`]. Tag bits are stripped; a
+/// null pointer is a no-op.
+pub fn release_node_ref<N: VersionReferenced>(
+    node: Shared<'_, N>,
+    camera: &Arc<Camera>,
+    guard: &Guard,
+) {
+    let node = node.with_tag(0);
+    let Some(n) = (unsafe { node.as_ref() }) else { return };
+    if n.version_refs().fetch_sub(1, Ordering::Release) == 1 {
+        fence(Ordering::Acquire);
+        camera.note_nodes_retired(1);
+        unsafe { guard.defer_destroy(node) };
+    }
+}
+
+/// `ValueHook::acquire` for a managed pointer cell: counts the new version's reference.
+fn acquire_word<N: VersionReferenced>(word: usize) {
+    let shared = unsafe { Shared::<'_, N>::from_data(word) }.with_tag(0);
+    if let Some(n) = unsafe { shared.as_ref() } {
+        n.version_refs().fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `ValueHook::release` for a managed pointer cell: drops the destroyed version's
+/// reference, retiring the node when it was the last.
+fn release_word<N: VersionReferenced>(word: usize, camera: &Arc<Camera>, guard: &Guard) {
+    release_node_ref(unsafe { Shared::<'_, N>::from_data(word) }, camera, guard);
+}
 
 /// A versioned CAS object holding a (possibly tagged, possibly null) pointer to `N`.
 pub struct VersionedPtr<N> {
@@ -41,6 +108,23 @@ impl<N: 'static> VersionedPtr<N> {
     /// Creates a versioned pointer initialized to an existing shared pointer.
     pub fn from_shared(initial: Shared<'_, N>, camera: &Arc<Camera>) -> Self {
         VersionedPtr { inner: VersionedCas::new(initial.into_data(), camera), _marker: PhantomData }
+    }
+
+    /// Like [`VersionedPtr::from_shared`], but with data-node reference counting: every
+    /// retained version of this cell holds one counted reference to the node it points at
+    /// (see [`VersionReferenced`]), acquired before the version is published and released
+    /// when it is destroyed — by truncation, failed publication, or the cell's drop. The
+    /// caller must hold an EBR guard (the initial reference is counted against `initial`,
+    /// which the guard keeps alive).
+    pub fn from_shared_managed(initial: Shared<'_, N>, camera: &Arc<Camera>) -> Self
+    where
+        N: VersionReferenced,
+    {
+        let hook = ValueHook { acquire: acquire_word::<N>, release: release_word::<N> };
+        VersionedPtr {
+            inner: VersionedCas::with_hook(initial.into_data(), camera, Some(hook)),
+            _marker: PhantomData,
+        }
     }
 
     /// `vRead`: the current tagged pointer. Constant time.

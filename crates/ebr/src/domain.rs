@@ -193,6 +193,42 @@ impl Domain {
         }
     }
 
+    /// Repeatedly flushes, advances, and collects until the garbage queue is empty or no
+    /// progress can be made (another thread holds a stale pin). Returns the number of
+    /// deferred destructors still pending (0 = fully drained).
+    ///
+    /// Unlike [`Domain::flush`], this follows *cascades*: a deferred destructor that itself
+    /// defers more work (e.g. reference-counted data nodes retiring their children) is
+    /// driven to completion, however deep the chain. Intended for quiescent points — tests,
+    /// teardown, the end of a benchmark phase — where exact reclamation accounting matters.
+    pub fn drain(self: &Arc<Self>) -> usize {
+        let mut stalled_rounds = 0;
+        let mut last_collected = self.collected_count.load(Ordering::Relaxed);
+        loop {
+            local::flush(self);
+            let pending = self.garbage.lock().len();
+            if pending == 0 {
+                // The local bag was just flushed into the (empty) queue, so nothing —
+                // including work deferred by destructors of the previous round — remains.
+                return 0;
+            }
+            self.try_advance();
+            self.try_advance();
+            self.collect();
+            let collected = self.collected_count.load(Ordering::Relaxed);
+            if collected == last_collected {
+                // Neither of the two advances unblocked anything: a stale pin elsewhere.
+                stalled_rounds += 1;
+                if stalled_rounds >= 3 {
+                    return self.garbage.lock().len();
+                }
+            } else {
+                stalled_rounds = 0;
+            }
+            last_collected = collected;
+        }
+    }
+
     /// Returns reclamation counters.
     pub fn stats(&self) -> DomainStats {
         DomainStats {

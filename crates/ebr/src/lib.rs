@@ -77,6 +77,16 @@ pub fn flush() {
     default_domain().flush();
 }
 
+/// Drives the default domain's deferred work — including cascades, where one destructor
+/// defers another — until the queue is empty or a stale pin elsewhere blocks progress.
+/// Returns the number of destructors still pending (0 = fully drained).
+///
+/// Call at quiescent points only (see [`Domain::drain`]); with readers active this can
+/// legitimately return non-zero.
+pub fn drain() -> usize {
+    default_domain().drain()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

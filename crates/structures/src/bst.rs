@@ -22,7 +22,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
-use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionedPtr};
+use vcas_core::{
+    release_node_ref, Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionReferenced,
+    VersionedPtr,
+};
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
 
 use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, Value};
@@ -63,15 +66,37 @@ struct Node {
     value: Value,
     children: Option<[ChildPtr; 2]>,
     update: Atomic<Info>,
+    /// Version-held reference count (versioned mode): one reference per retained version
+    /// pointing at this node, plus the creator reference until publication. Unused (and
+    /// left at 1) in plain mode. The `update` word is deliberately *not* owned by this
+    /// protocol: descriptors are shared between update words (a delete's `Info` sits in
+    /// both the grandparent and the marked parent) and are retired when an update word
+    /// replaces them — a retiring node must never free its descriptor.
+    refs: AtomicU64,
+}
+
+/// SAFETY: `refs` is touched only by the version-reference protocol, and the tree only
+/// republishes pointers obtained from current (head-version) reads under a guard —
+/// snapshot reads are never fed back into a CAS.
+unsafe impl VersionReferenced for Node {
+    fn version_refs(&self) -> &AtomicU64 {
+        &self.refs
+    }
 }
 
 impl Node {
     fn leaf(key: Key, value: Value) -> Node {
-        Node { key, value, children: None, update: Atomic::null() }
+        Node { key, value, children: None, update: Atomic::null(), refs: AtomicU64::new(1) }
     }
 
     fn internal(key: Key, left: ChildPtr, right: ChildPtr) -> Node {
-        Node { key, value: 0, children: Some([left, right]), update: Atomic::null() }
+        Node {
+            key,
+            value: 0,
+            children: Some([left, right]),
+            update: Atomic::null(),
+            refs: AtomicU64::new(1),
+        }
     }
 
     fn is_leaf(&self) -> bool {
@@ -93,7 +118,9 @@ impl ChildPtr {
     fn new(mode: &Mode, init: Shared<'_, Node>) -> ChildPtr {
         match mode {
             Mode::Plain => ChildPtr::Plain(Atomic::from_shared(init)),
-            Mode::Versioned(camera) => ChildPtr::Versioned(VersionedPtr::from_shared(init, camera)),
+            Mode::Versioned(camera) => {
+                ChildPtr::Versioned(VersionedPtr::from_shared_managed(init, camera))
+            }
         }
     }
 
@@ -181,6 +208,15 @@ impl Nbbst {
         let right_leaf = Owned::new(Node::leaf(INF2, 0)).into_shared(&guard);
         let root =
             Node::internal(INF2, ChildPtr::new(&mode, left_leaf), ChildPtr::new(&mode, right_leaf));
+        if let Mode::Versioned(camera) = &mode {
+            camera.note_nodes_created(3);
+            // The dummy leaves are published (the root's child cells hold counted
+            // references to them), so their creator references are handed off here. The
+            // root itself is never held by a version node and keeps its creator
+            // reference; the destructor frees it directly.
+            release_node_ref(left_leaf, camera, &guard);
+            release_node_ref(right_leaf, camera, &guard);
+        }
         Nbbst {
             root: Atomic::new(root),
             mode,
@@ -295,6 +331,9 @@ impl Nbbst {
                 ChildPtr::new(&self.mode, rc),
             ))
             .into_shared(&guard);
+            if let Mode::Versioned(camera) = &self.mode {
+                camera.note_nodes_created(2);
+            }
 
             let op = Owned::new(Info {
                 gp: 0,
@@ -323,10 +362,23 @@ impl Nbbst {
                     unsafe { guard.defer_destroy(s.pupdate.with_tag(0)) };
                 }
                 self.help_insert(op, &guard);
+                if let Mode::Versioned(camera) = &self.mode {
+                    // Both new nodes are now published (the child CAS — ours or a
+                    // helper's — put `new_internal` in `p`'s cell, and `new_internal`'s
+                    // own cell holds `new_leaf`): hand off their creator references.
+                    release_node_ref(new_internal, camera, &guard);
+                    release_node_ref(new_leaf, camera, &guard);
+                }
                 self.after_update(&guard);
                 return true;
             } else {
-                // Our descriptor and subtree were never published; reclaim them immediately.
+                // Our descriptor and subtree were never published; reclaim them
+                // immediately. Order matters in versioned mode: dropping `new_internal`
+                // releases the counted reference its cell held on `new_leaf` (back to the
+                // creator reference we free next) and on the still-live `s.l`.
+                if let Mode::Versioned(camera) = &self.mode {
+                    camera.note_nodes_dropped(2);
+                }
                 unsafe {
                     drop(op.into_owned());
                     drop(new_internal.into_owned());
@@ -940,18 +992,13 @@ struct SearchResult<'g> {
 
 impl Drop for Nbbst {
     fn drop(&mut self) {
-        // Exclusive access. Two traversals:
-        //
-        // 1. Over the *current* tree only, collecting the operation descriptors currently
-        //    installed in update words. (Descriptors that were replaced have already been
-        //    handed to epoch-based reclamation; descriptors installed in unlinked, marked
-        //    nodes are the same objects as the ones reachable here or already retired, so
-        //    reading update words of old-version nodes would double-free.)
-        //
-        // 2. Over every version of every child pointer, collecting every node the tree ever
-        //    linked (in versioned mode old nodes stay reachable through version lists; in
-        //    plain mode this degenerates to the current tree, since unlinked nodes were
-        //    retired through EBR).
+        // Exclusive access. First, over the *current* tree only, collect the operation
+        // descriptors currently installed in update words. (Descriptors that were replaced
+        // have already been handed to epoch-based reclamation; descriptors installed in
+        // unlinked, marked nodes are the same objects as the ones reachable here or
+        // already retired, so reading update words of old-version nodes would
+        // double-free.) Nodes retiring through the version-reference protocol never touch
+        // their descriptors for the same reason.
         let guard = pin();
         let root = self.root.load(Ordering::SeqCst, &guard);
 
@@ -973,26 +1020,45 @@ impl Drop for Nbbst {
             }
         }
 
-        let mut visited_nodes = std::collections::HashSet::new();
-        let mut stack = vec![root];
-        while let Some(node) = stack.pop() {
-            if node.is_null() || !visited_nodes.insert(node.as_raw() as usize) {
-                continue;
+        // Then free the nodes.
+        match &self.mode {
+            // Versioned: every node but the root is owned by the version-reference
+            // protocol — freeing the root drops its cells, releasing the references they
+            // held, and reclamation cascades through every node of every retained version
+            // (deferred through EBR; `vcas_ebr::drain` at a quiescent point settles the
+            // counters). Only the root, which no version node ever pointed at, is freed —
+            // and counted — here.
+            Mode::Versioned(camera) => {
+                camera.note_nodes_dropped(1);
+                unsafe { drop(Box::from_raw(root.as_raw())) };
             }
-            let n = unsafe { node.deref() };
-            if let Some(children) = &n.children {
-                for child in children {
-                    for version in child.all_versions(&guard) {
-                        stack.push(version);
+            // Plain: unlinked nodes were retired to EBR when unlinked; free what the
+            // current tree still reaches.
+            Mode::Plain => {
+                let mut visited_nodes = std::collections::HashSet::new();
+                let mut stack = vec![root];
+                while let Some(node) = stack.pop() {
+                    if node.is_null() || !visited_nodes.insert(node.as_raw() as usize) {
+                        continue;
+                    }
+                    let n = unsafe { node.deref() };
+                    if let Some(children) = &n.children {
+                        for child in children {
+                            for version in child.all_versions(&guard) {
+                                stack.push(version);
+                            }
+                        }
+                    }
+                }
+                unsafe {
+                    for raw in visited_nodes {
+                        drop(Box::from_raw(raw as *mut Node));
                     }
                 }
             }
         }
 
         unsafe {
-            for raw in visited_nodes {
-                drop(Box::from_raw(raw as *mut Node));
-            }
             for raw in info_ptrs {
                 drop(Box::from_raw(raw as *mut Info));
             }

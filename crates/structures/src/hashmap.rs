@@ -315,7 +315,11 @@ impl MapSnapshotView for VcasHashMapView<'_> {
 /// resuming at the bucket (and, via each bucket list's own cursor, the position inside it)
 /// where the previous bounded pass stopped. Update hooks need no wiring here — the buckets
 /// are [`HarrisList`]s sharing the table's camera, so their update paths already drive
-/// [`Camera::reclaim_tick`].
+/// [`Camera::reclaim_tick`]. Data-node reclamation likewise arrives through the buckets:
+/// every bucket node carries a version-held reference count, so truncating a bucket's
+/// version lists retires nodes whose last reference went (counted into the shared
+/// camera's `nodes_retired`), and dropping the table drops the buckets, whose cascades
+/// free every remaining node — see the node-conservation test in `tests/node_reclaim.rs`.
 impl Collectible for VcasHashMap {
     fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats {
         let mut stats = CollectStats::default();

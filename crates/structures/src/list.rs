@@ -12,7 +12,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
-use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionedPtr};
+use vcas_core::{
+    release_node_ref, Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionReferenced,
+    VersionedPtr,
+};
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
 
 use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, Value};
@@ -25,6 +28,25 @@ struct Node {
     key: Key,
     value: Value,
     next: NextPtr,
+    /// Version-held reference count (versioned mode): one reference per retained version
+    /// pointing at this node, plus the creator reference until publication. Unused (and
+    /// left at 1) in plain mode, where unlinked nodes go straight to EBR.
+    refs: AtomicU64,
+}
+
+impl Node {
+    fn new(key: Key, value: Value, next: NextPtr) -> Node {
+        Node { key, value, next, refs: AtomicU64::new(1) }
+    }
+}
+
+/// SAFETY: `refs` is touched only by the version-reference protocol, and the list only
+/// republishes pointers obtained from current (head-version) reads under a guard — snapshot
+/// reads are never fed back into a CAS.
+unsafe impl VersionReferenced for Node {
+    fn version_refs(&self) -> &AtomicU64 {
+        &self.refs
+    }
 }
 
 enum NextPtr {
@@ -36,7 +58,9 @@ impl NextPtr {
     fn new(mode: &Mode, init: Shared<'_, Node>) -> NextPtr {
         match mode {
             Mode::Plain => NextPtr::Plain(Atomic::from_shared(init)),
-            Mode::Versioned(camera) => NextPtr::Versioned(VersionedPtr::from_shared(init, camera)),
+            Mode::Versioned(camera) => {
+                NextPtr::Versioned(VersionedPtr::from_shared_managed(init, camera))
+            }
         }
     }
 
@@ -115,7 +139,12 @@ pub struct HarrisList {
 
 impl HarrisList {
     fn with_mode(mode: Mode, label: &'static str) -> HarrisList {
-        let head = Node { key: 0, value: 0, next: NextPtr::new(&mode, Shared::null()) };
+        let head = Node::new(0, 0, NextPtr::new(&mode, Shared::null()));
+        if let Mode::Versioned(camera) = &mode {
+            // The sentinel keeps its creator reference (it is never held by a version
+            // node) and is freed directly by the destructor.
+            camera.note_nodes_created(1);
+        }
         HarrisList { head: Atomic::new(head), mode, reclaim_cursor: AtomicU64::new(0), label }
     }
 
@@ -196,14 +225,26 @@ impl HarrisList {
             if !curr.is_null() && unsafe { curr.deref() }.key == key {
                 return false;
             }
-            let new = Owned::new(Node { key, value, next: NextPtr::new(&self.mode, curr) })
+            let new = Owned::new(Node::new(key, value, NextPtr::new(&self.mode, curr)))
                 .into_shared(&guard);
+            if let Mode::Versioned(camera) = &self.mode {
+                camera.note_nodes_created(1);
+            }
             let pred_ref = unsafe { pred.deref() };
             if pred_ref.next.compare_exchange(curr, new, &guard) {
+                if let Mode::Versioned(camera) = &self.mode {
+                    // Published: `pred`'s new head version holds a counted reference, so
+                    // the creator reference is handed off (see [`VersionReferenced`]).
+                    release_node_ref(new, camera, &guard);
+                }
                 self.after_update(&guard);
                 return true;
             }
-            // Not published: free and retry.
+            // Not published: free and retry. (In versioned mode the node's cell still
+            // holds a counted reference to `curr`; dropping the node releases it.)
+            if let Mode::Versioned(camera) = &self.mode {
+                camera.note_nodes_dropped(1);
+            }
             unsafe { drop(new.into_owned()) };
         }
     }
@@ -675,21 +716,37 @@ impl SnapshotSource for HarrisList {
 impl Drop for HarrisList {
     fn drop(&mut self) {
         let guard = pin();
-        let mut visited = std::collections::HashSet::new();
         let head = self.head.load(Ordering::SeqCst, &guard);
-        let mut stack = vec![head];
-        while let Some(node) = stack.pop() {
-            if node.is_null() || !visited.insert(node.with_tag(0).as_raw() as usize) {
-                continue;
+        match &self.mode {
+            // Versioned: every non-sentinel node is owned by the version-reference
+            // protocol — freeing the sentinel drops its cell, which releases the
+            // references it held, and reclamation cascades through exactly the nodes that
+            // thereby become unreferenced (deferred through EBR; `vcas_ebr::drain` at a
+            // quiescent point settles the counters). Only the sentinel, which no version
+            // node ever pointed at, is freed — and counted — here.
+            Mode::Versioned(camera) => {
+                camera.note_nodes_dropped(1);
+                unsafe { drop(Box::from_raw(head.with_tag(0).as_raw())) };
             }
-            let n = unsafe { node.with_tag(0).deref() };
-            for v in n.next.all_versions(&guard) {
-                stack.push(v.with_tag(0));
-            }
-        }
-        unsafe {
-            for raw in visited {
-                drop(Box::from_raw(raw as *mut Node));
+            // Plain: unlinked nodes were retired to EBR when unlinked; free what the
+            // current list still reaches.
+            Mode::Plain => {
+                let mut visited = std::collections::HashSet::new();
+                let mut stack = vec![head];
+                while let Some(node) = stack.pop() {
+                    if node.is_null() || !visited.insert(node.with_tag(0).as_raw() as usize) {
+                        continue;
+                    }
+                    let n = unsafe { node.with_tag(0).deref() };
+                    for v in n.next.all_versions(&guard) {
+                        stack.push(v.with_tag(0));
+                    }
+                }
+                unsafe {
+                    for raw in visited {
+                        drop(Box::from_raw(raw as *mut Node));
+                    }
+                }
             }
         }
     }

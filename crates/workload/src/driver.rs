@@ -68,6 +68,20 @@ fn prefill_with(mut insert: impl FnMut(Key, u64) -> bool, spec: &WorkloadSpec) {
     }
 }
 
+/// Drains the default EBR domain, retrying (bounded) around transient pins: other tests
+/// in the same process may briefly pin the shared domain, which makes a single
+/// [`vcas_ebr::drain`] give up with work still pending. Returns the final pending count
+/// (0 = fully settled).
+fn drain_ebr_settled() -> usize {
+    for _ in 0..2_000 {
+        if vcas_ebr::drain() == 0 {
+            return 0;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    vcas_ebr::drain()
+}
+
 /// Joins a worker, converting a worker panic into one that names the spec's seed so the
 /// failing run can be reproduced.
 fn join_worker<T>(handle: std::thread::JoinHandle<T>, spec: &WorkloadSpec) -> T {
@@ -401,6 +415,18 @@ pub struct ReclaimResult {
     /// quiescence — the driver asserts `max_versions_per_cell` is bounded by a small
     /// constant here.
     pub stats_after_drop: VersionStats,
+    /// Data-structure nodes retired through the version-reference protocol over the run
+    /// (from [`Camera::nodes_retired`]); positive whenever churn unlinked nodes and
+    /// truncation cut their last version references.
+    pub nodes_retired: u64,
+    /// [`Camera::approx_live_versions`] after the pin dropped, collection reached
+    /// quiescence, and the EBR domain drained: one version per cell of the surviving
+    /// tree.
+    pub live_versions_after_quiescence: u64,
+    /// [`Camera::approx_live_nodes`] at the same point. The driver asserts this equals
+    /// the node count of the surviving tree exactly (`2·len + 3` for the leaf-oriented
+    /// BST) — i.e. *zero* unlinked nodes outlive their last version reference.
+    pub live_nodes_after_quiescence: u64,
 }
 
 /// Runs the `reclaim` scenario: `spec.threads` update-heavy writers (50% inserts / 50%
@@ -502,20 +528,67 @@ pub fn run_reclaim(spec: &WorkloadSpec, scenario: &ReclaimScenario) -> ReclaimRe
     assert!(sweep.completed_cycle, "collection never reached quiescence (seed={:#x})", spec.seed);
     let stats_after_drop = Collectible::version_stats(tree.as_ref(), &guard);
     drop(guard);
-    vcas_ebr::flush();
+    // Drain the EBR domain so node-retirement cascades (a retired node's destructor
+    // releases the version references *it* held) settle before the memory accounting.
+    let pending = drain_ebr_settled();
+    assert_eq!(pending, 0, "EBR domain failed to drain at quiescence (seed={:#x})", spec.seed);
     assert!(
         stats_after_drop.max_versions_per_cell <= 2,
         "version lists still unbounded after the pin dropped: {stats_after_drop:?} (seed={:#x})",
         spec.seed
     );
 
-    ReclaimResult {
+    // Node-leak check, part 1: with the pin gone, history truncated, and EBR drained,
+    // exactly the current tree survives — `len` keys = `len` leaves + `len` internal
+    // nodes + the root + its two dummy leaves. One more live node would be an unlinked
+    // node that outlived its last version reference (the pre-fix leak); one fewer, a
+    // double free.
+    let live_nodes_after_quiescence = camera.approx_live_nodes();
+    let expected_nodes = 2 * tree.len() as u64 + 3;
+    assert_eq!(
+        live_nodes_after_quiescence, expected_nodes,
+        "live-node estimate diverged from the surviving tree (seed={:#x})",
+        spec.seed
+    );
+    let live_versions_after_quiescence = camera.approx_live_versions();
+    let nodes_retired = camera.nodes_retired();
+
+    let result = ReclaimResult {
         updates: Throughput { operations: total_ops.load(Ordering::Relaxed), elapsed },
         versions_retired: camera.versions_retired(),
         versions_retired_during_run,
         stats_while_pinned,
         stats_after_drop,
-    }
+        nodes_retired,
+        live_versions_after_quiescence,
+        live_nodes_after_quiescence,
+    };
+
+    // Node-leak check, part 2: dropping the tree must conserve every counter exactly —
+    // nothing allocated on this camera outlives the run.
+    drop(tree);
+    let pending = drain_ebr_settled();
+    assert_eq!(pending, 0, "EBR domain failed to drain after drop (seed={:#x})", spec.seed);
+    assert_eq!(
+        camera.nodes_created(),
+        camera.nodes_retired() + camera.nodes_dropped(),
+        "node conservation violated after structure drop (seed={:#x})",
+        spec.seed
+    );
+    assert_eq!(
+        camera.approx_live_nodes(),
+        0,
+        "data nodes leaked past structure drop (seed={:#x})",
+        spec.seed
+    );
+    assert_eq!(
+        camera.approx_live_versions(),
+        0,
+        "version nodes leaked past structure drop (seed={:#x})",
+        spec.seed
+    );
+
+    result
 }
 
 /// The sorted-insertion workload of Fig. 2i: an ascending key sequence is split into chunks
@@ -677,11 +750,13 @@ mod tests {
             ReclaimPolicy::Disabled,
             ReclaimPolicy::Amortized { every_n_updates: 64, budget: 128 },
             ReclaimPolicy::Background { interval_ms: 2, budget: 512 },
+            ReclaimPolicy::Adaptive { initial_interval_ms: 2, budget: 512 },
         ] {
             let mut spec = WorkloadSpec::new(2, 150, Mix::update_heavy());
             spec.duration_ms = 60;
             let scenario = ReclaimScenario { policy, reader_checks: 3 };
-            // run_reclaim asserts the frozen-view and bounded-versions invariants itself.
+            // run_reclaim asserts the frozen-view, bounded-versions, and node-conservation
+            // invariants itself.
             let r = run_reclaim(&spec, &scenario);
             assert!(r.updates.operations > 0, "{policy:?}: no updates (seed={:#x})", spec.seed);
             assert!(
@@ -708,6 +783,17 @@ mod tests {
             assert!(
                 r.stats_while_pinned.versions >= r.stats_after_drop.versions,
                 "{policy:?}: quiescence must not grow history"
+            );
+            // Data-node reclamation: churn strands unlinked nodes behind version
+            // pointers, and truncating those pointers must retire them.
+            assert!(
+                r.nodes_retired > 0,
+                "{policy:?}: no data nodes retired (seed={:#x})",
+                spec.seed
+            );
+            assert!(
+                r.live_versions_after_quiescence >= r.live_nodes_after_quiescence / 2,
+                "{policy:?}: implausible live accounting: {r:?}"
             );
         }
     }

@@ -14,7 +14,11 @@
 //!    around it;
 //! 2. once the pin drops, the version census collapses back to ~one version per cell;
 //! 3. the camera's counters (`versions_retired`, `approx_live_versions`) expose the
-//!    collector's progress, the way a service would export them to monitoring.
+//!    collector's progress, the way a service would export them to monitoring;
+//! 4. *data nodes* unlinked by the churn are retired once truncation cuts their last
+//!    version reference (`nodes_retired`), the live-node estimate tracks the current
+//!    structures, and dropping them conserves every node counter exactly — the service
+//!    leaks neither versions nor nodes.
 //!
 //! Run with `cargo run --example reclamation_service`.
 
@@ -119,4 +123,28 @@ fn main() {
         census_counters.max_versions_per_cell,
         census_index.max_versions_per_cell
     );
+
+    // Node census: every remove+insert bump stranded an unlinked node behind version
+    // pointers; truncation retired them as their last references went (the data-node-leak
+    // fix). Drain the EBR cascades so the estimates are exact, then check conservation.
+    vcas_repro::ebr::drain();
+    println!(
+        "node census: created={} retired={} dropped={} live={}",
+        camera.nodes_created(),
+        camera.nodes_retired(),
+        camera.nodes_dropped(),
+        camera.approx_live_nodes()
+    );
+    assert!(camera.nodes_retired() > 0, "churned-away nodes were never retired");
+    drop(counters);
+    drop(index);
+    vcas_repro::ebr::drain();
+    assert_eq!(
+        camera.nodes_created(),
+        camera.nodes_retired() + camera.nodes_dropped(),
+        "node conservation violated"
+    );
+    assert_eq!(camera.approx_live_nodes(), 0, "data nodes leaked past structure drop");
+    assert_eq!(camera.approx_live_versions(), 0, "version nodes leaked past structure drop");
+    println!("after drop: every allocated node and version accounted for — no leaks");
 }
