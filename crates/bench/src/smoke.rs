@@ -19,15 +19,18 @@ use vcas_structures::queries::{run_query, HashQueryKind, QueryKind};
 use vcas_structures::traits::AtomicRangeMap;
 use vcas_structures::{DcBst, HarrisList, LockBst, Nbbst, VcasHashMap};
 use vcas_workload::{
-    run_composed, run_hashmap, run_mixed, run_reclaim, ComposedScenario, HashMapScenario, KeySkew,
-    Mix, ReclaimScenario, WorkloadSpec,
+    run_composed, run_hashmap, run_mixed, run_reclaim, run_timetravel, ComposedScenario,
+    HashMapScenario, KeySkew, Mix, ReclaimScenario, TimeTravelMode, TimeTravelScenario,
+    WorkloadSpec,
 };
 
 use crate::experiments::{fresh_hashmap, HASHMAP_CONTENDERS};
 
 /// One smoke data point: a scenario/structure pair and its measured throughput, plus —
-/// for the reclamation rows — the end-of-run memory footprint (live versions/nodes),
-/// so the perf trajectory tracks memory boundedness and not just speed.
+/// for the reclamation rows — the end-of-run memory footprint (live versions/nodes), and
+/// — for the time-travel rows — the query-cache hit rate and the version count retained
+/// while the anchors were held, so the perf trajectory tracks memory boundedness and
+/// cache effectiveness, not just speed.
 #[derive(Debug, Clone)]
 pub struct SmokeRow {
     /// `scenario/structure` identifier, e.g. `mixed-update-heavy/VcasBST`.
@@ -38,12 +41,25 @@ pub struct SmokeRow {
     pub live_versions: Option<u64>,
     /// `Camera::approx_live_nodes()` after the run quiesced (reclaim rows only).
     pub live_nodes: Option<u64>,
+    /// Query-cache hit rate over the run (the `timetravel/cached-vs-uncached` row only).
+    pub cache_hit_rate: Option<f64>,
+    /// `Camera::approx_live_versions()` at the end of the timed window *while the named
+    /// anchors were still held* — the memory cost of retention (timetravel rows only).
+    pub retained_versions: Option<u64>,
 }
 
 impl SmokeRow {
-    /// A throughput-only row (every scenario except the reclamation ablation).
+    /// A throughput-only row (every scenario except the reclamation and time-travel
+    /// ablations).
     fn throughput(id: String, mops: f64) -> SmokeRow {
-        SmokeRow { id, mops, live_versions: None, live_nodes: None }
+        SmokeRow {
+            id,
+            mops,
+            live_versions: None,
+            live_nodes: None,
+            cache_hit_rate: None,
+            retained_versions: None,
+        }
     }
 }
 
@@ -228,6 +244,38 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
             mops: r.updates.mops(),
             live_versions: Some(r.live_versions_after_quiescence),
             live_nodes: Some(r.live_nodes_after_quiescence),
+            cache_hit_rate: None,
+            retained_versions: None,
+        });
+    }
+
+    // Time-travel scenario: writers advance history while the driver holds a ladder of
+    // named anchors and keeps issuing as-of / diff / cached historical queries against
+    // them. `run_timetravel` itself asserts the frozen-anchor, diff-reconciliation,
+    // cache-coherence, and history-release invariants, so CI executes the whole MVCC
+    // retention layer end-to-end on every PR. The rows archive the writers' throughput
+    // (what retention costs the update path), the versions retained while anchored, and
+    // — for the cached row — the query-cache hit rate.
+    for (mode, id) in [
+        (TimeTravelMode::AsOf, "timetravel/asof"),
+        (TimeTravelMode::Diff, "timetravel/diff"),
+        (TimeTravelMode::Cached, "timetravel/cached-vs-uncached"),
+    ] {
+        let scenario =
+            TimeTravelScenario { mode, anchors: 3, reader_checks: 2, ..Default::default() };
+        let r = run_timetravel(&spec(cfg, Mix::update_heavy()), &scenario);
+        let cache_hit_rate = (mode == TimeTravelMode::Cached).then(|| r.cache_hit_rate());
+        if let Some(rate) = cache_hit_rate {
+            // Acceptance criterion: repeated historical queries must actually hit.
+            assert!(rate > 0.0, "{id}: query cache never hit (rate={rate})");
+        }
+        rows.push(SmokeRow {
+            id: id.to_string(),
+            mops: r.updates.mops(),
+            live_versions: None,
+            live_nodes: None,
+            cache_hit_rate,
+            retained_versions: Some(r.retained_versions_while_anchored),
         });
     }
 
@@ -235,9 +283,11 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
 }
 
 /// Serializes smoke results as JSON (hand-rolled: the workspace intentionally has no
-/// serde). Schema v2: `{"schema_version":2,"mode":"quick",...,"results":[{"id","mops"}
+/// serde). Schema v3: `{"schema_version":3,"mode":"quick",...,"results":[{"id","mops"}
 /// ,..]}`, where reclaim rows additionally carry `"live_versions"` and `"live_nodes"`
-/// (end-of-run memory footprint; absent on throughput-only rows).
+/// (end-of-run memory footprint), and timetravel rows carry `"retained_versions"` (and,
+/// for the cached row, `"cache_hit_rate"`); all extras are absent on throughput-only
+/// rows.
 pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -245,7 +295,7 @@ pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
         .unwrap_or(0);
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str("  \"mode\": \"quick\",\n");
     out.push_str(&format!("  \"unix_time\": {unix_secs},\n"));
     out.push_str(&format!("  \"duration_ms\": {},\n", cfg.duration_ms));
@@ -260,6 +310,12 @@ pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
         }
         if let Some(n) = row.live_nodes {
             memory.push_str(&format!(", \"live_nodes\": {n}"));
+        }
+        if let Some(rate) = row.cache_hit_rate {
+            memory.push_str(&format!(", \"cache_hit_rate\": {rate:.6}"));
+        }
+        if let Some(v) = row.retained_versions {
+            memory.push_str(&format!(", \"retained_versions\": {v}"));
         }
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"mops\": {:.6}{memory}}}{comma}\n",
@@ -314,8 +370,8 @@ mod tests {
     fn smoke_produces_a_row_per_scenario() {
         let rows = run_smoke(&tiny());
         // 6 ordered + 6 hashmap (2 skews x 3 contenders) + 2 query rows
-        // + 2 view-ablation rows + 1 composed row + 4 reclaim rows.
-        assert_eq!(rows.len(), 21);
+        // + 2 view-ablation rows + 1 composed row + 4 reclaim rows + 3 timetravel rows.
+        assert_eq!(rows.len(), 24);
         let ids: std::collections::HashSet<_> = rows.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids.len(), rows.len(), "duplicate smoke ids");
         // The view-amortization comparison and the cross-structure scenario must land in
@@ -329,6 +385,10 @@ mod tests {
         assert!(ids.contains("reclaim/amortized"));
         assert!(ids.contains("reclaim/background"));
         assert!(ids.contains("reclaim/adaptive"));
+        // And the time-travel rows (acceptance criterion of the MVCC retention layer).
+        assert!(ids.contains("timetravel/asof"));
+        assert!(ids.contains("timetravel/diff"));
+        assert!(ids.contains("timetravel/cached-vs-uncached"));
         for row in &rows {
             assert!(row.mops > 0.0, "{} reported zero throughput", row.id);
             if row.id.starts_with("reclaim/") {
@@ -338,6 +398,17 @@ mod tests {
                 assert!(row.live_nodes.is_some(), "{} missing live_nodes", row.id);
             } else {
                 assert!(row.live_versions.is_none() && row.live_nodes.is_none());
+            }
+            if row.id.starts_with("timetravel/") {
+                assert!(row.retained_versions.is_some(), "{} missing retained_versions", row.id);
+            } else {
+                assert!(row.retained_versions.is_none());
+            }
+            if row.id == "timetravel/cached-vs-uncached" {
+                let rate = row.cache_hit_rate.expect("cached row missing cache_hit_rate");
+                assert!(rate > 0.0, "cached row reported zero hit rate");
+            } else {
+                assert!(row.cache_hit_rate.is_none(), "{} must not report a hit rate", row.id);
             }
         }
     }
@@ -353,17 +424,32 @@ mod tests {
                 mops: 2.0,
                 live_versions: Some(129),
                 live_nodes: Some(131),
+                cache_hit_rate: None,
+                retained_versions: None,
+            },
+            SmokeRow {
+                id: "timetravel/cached-vs-uncached".to_string(),
+                mops: 3.0,
+                live_versions: None,
+                live_nodes: None,
+                cache_hit_rate: Some(0.5),
+                retained_versions: Some(640),
             },
         ];
         let json = to_json(&cfg, &rows);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("{\"id\": \"a/b\", \"mops\": 1.250000}"));
         assert!(json.contains("c\\\"d\\\\e"));
         // Reclaim rows carry the memory fields; throughput rows omit them.
         assert!(json.contains(
             "{\"id\": \"reclaim/none\", \"mops\": 2.000000, \
              \"live_versions\": 129, \"live_nodes\": 131}"
+        ));
+        // Timetravel rows carry the retention fields.
+        assert!(json.contains(
+            "{\"id\": \"timetravel/cached-vs-uncached\", \"mops\": 3.000000, \
+             \"cache_hit_rate\": 0.500000, \"retained_versions\": 640}"
         ));
         assert!(!json.contains("\"mops\": 1.250000, \"live"));
         // Balanced braces/brackets (cheap structural check without a JSON parser).

@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use vcas_ebr::Guard;
 
 use crate::reclaim::{CollectStats, Collectible, ReclaimState};
+use crate::retention::{Anchor, RetentionError, RetentionPolicy};
 use crate::snapshot::{PinnedSnapshot, SnapshotHandle};
 
 /// A camera object (paper §3, Algorithm 1 lines 1–7).
@@ -33,6 +34,15 @@ pub struct Camera {
     /// Automatic version-list reclamation: the collectible registry, amortized-hook knobs,
     /// and version counters (see [`crate::reclaim`]).
     reclaim: ReclaimState,
+    /// Named anchor registry, `(name, timestamp)` per live [`Anchor`] clone — diagnostic
+    /// only; the pins that actually hold versions live in `active`.
+    anchors: Mutex<Vec<(Arc<str>, u64)>>,
+    /// The installed retention policy; contributes a floor to [`Camera::retention_floor`].
+    retention: Mutex<RetentionPolicy>,
+    /// Monotone retention watermark: the highest truncation cut any collection pass has
+    /// enforced. Timestamps below it are permanently unaddressable
+    /// ([`Camera::pin_snapshot_at`] returns [`RetentionError::Truncated`]).
+    oldest_retained: AtomicU64,
 }
 
 impl Camera {
@@ -43,6 +53,9 @@ impl Camera {
             active: Mutex::new(BTreeMap::new()),
             snapshots_taken: AtomicU64::new(0),
             reclaim: ReclaimState::new(),
+            anchors: Mutex::new(Vec::new()),
+            retention: Mutex::new(RetentionPolicy::default()),
+            oldest_retained: AtomicU64::new(0),
         })
     }
 
@@ -69,6 +82,132 @@ impl Camera {
             handle
         };
         PinnedSnapshot::new(self.clone(), ts)
+    }
+
+    /// Pins a snapshot at an **arbitrary retained timestamp**, not just one being taken
+    /// right now — the camera-level primitive behind the structure layer's `view_at(ts)`.
+    ///
+    /// Succeeds for any `ts` between the retention watermark
+    /// ([`Camera::oldest_retained`]) and the camera's current time, inclusive. Asking for
+    /// the current (still-open) instant closes it first by taking a fresh snapshot under
+    /// the registry lock, so the returned pin's timestamp may exceed `ts` by the
+    /// concurrent-snapshot slack; every strictly-past timestamp pins exactly at `ts`.
+    ///
+    /// The check-then-pin is race-free against truncation: the watermark is read and the
+    /// pin registered under the same lock that collection passes use to compute their cut
+    /// ([`Camera::retention_floor`]), so a successful past-pin is visible to every later
+    /// pass and its history can no longer be reclaimed.
+    pub fn pin_snapshot_at(self: &Arc<Self>, ts: u64) -> Result<PinnedSnapshot, RetentionError> {
+        let mut active = self.active.lock();
+        let now = self.timestamp.load(Ordering::SeqCst);
+        if ts > now {
+            return Err(RetentionError::InFuture { requested: ts, now });
+        }
+        if ts == now {
+            // The instant `ts` is still open: a later write could still stamp a version
+            // at `ts`. Take a fresh snapshot (advancing the counter past `ts`) so the
+            // pinned instant is closed and therefore frozen.
+            let handle = self.take_snapshot();
+            *active.entry(handle.raw()).or_insert(0) += 1;
+            return Ok(PinnedSnapshot::new(self.clone(), handle));
+        }
+        let watermark = self.oldest_retained.load(Ordering::SeqCst);
+        if ts < watermark {
+            return Err(RetentionError::Truncated { requested: ts, oldest_retained: watermark });
+        }
+        *active.entry(ts).or_insert(0) += 1;
+        Ok(PinnedSnapshot::new(self.clone(), SnapshotHandle::from_raw(ts)))
+    }
+
+    /// Creates a **named persistent anchor** at the present: pins a fresh snapshot and
+    /// registers it under `name`. The anchored timestamp stays exactly readable
+    /// (`view_at`, `read_snapshot`) until the last clone of the returned [`Anchor`]
+    /// drops, regardless of reclamation policy.
+    pub fn anchor(self: &Arc<Self>, name: &str) -> Anchor {
+        Anchor::new(name, self.pin_snapshot())
+    }
+
+    /// Creates a named anchor at an arbitrary retained timestamp
+    /// (see [`Camera::pin_snapshot_at`] for the addressability rules).
+    pub fn anchor_at(self: &Arc<Self>, name: &str, ts: u64) -> Result<Anchor, RetentionError> {
+        Ok(Anchor::new(name, self.pin_snapshot_at(ts)?))
+    }
+
+    /// Re-pins an already-pinned handle (`Anchor::clone`): bumps the active count at the
+    /// same timestamp, so clones are independently droppable.
+    pub(crate) fn repin(self: &Arc<Self>, handle: SnapshotHandle) -> PinnedSnapshot {
+        let mut active = self.active.lock();
+        let count = active.entry(handle.raw()).or_insert(0);
+        debug_assert!(*count > 0, "repin of handle {} with no live pin", handle.raw());
+        *count += 1;
+        drop(active);
+        PinnedSnapshot::new(self.clone(), handle)
+    }
+
+    pub(crate) fn register_anchor(&self, name: &Arc<str>, ts: u64) {
+        self.anchors.lock().push((name.clone(), ts));
+    }
+
+    pub(crate) fn deregister_anchor(&self, name: &str, ts: u64) {
+        let mut anchors = self.anchors.lock();
+        if let Some(i) = anchors.iter().position(|(n, t)| &**n == name && *t == ts) {
+            anchors.swap_remove(i);
+        }
+    }
+
+    /// The currently live named anchors as `(name, timestamp)` pairs (diagnostic; one
+    /// entry per live [`Anchor`] clone, in no particular order).
+    pub fn anchors(&self) -> Vec<(String, u64)> {
+        self.anchors.lock().iter().map(|(n, t)| (n.to_string(), *t)).collect()
+    }
+
+    /// Installs a [`RetentionPolicy`]; it takes effect on the next collection pass.
+    /// Loosening a policy (raising its floor) lets the next pass reclaim the newly
+    /// unprotected history; tightening one cannot resurrect what a past cut already
+    /// released ([`Camera::oldest_retained`] is monotone).
+    pub fn set_retention(&self, policy: RetentionPolicy) {
+        *self.retention.lock() = policy;
+    }
+
+    /// The currently installed retention policy.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention.lock().clone()
+    }
+
+    /// The retention watermark: the oldest timestamp still guaranteed exactly readable.
+    /// Advances to every truncation cut a collection pass enforces and never retreats;
+    /// `view_at(ts)` / [`Camera::pin_snapshot_at`] fail with
+    /// [`RetentionError::Truncated`] below it.
+    pub fn oldest_retained(&self) -> u64 {
+        self.oldest_retained.load(Ordering::SeqCst)
+    }
+
+    /// Computes the truncation cut collection passes enforce — the oldest timestamp that
+    /// must stay exactly readable — and advances the retention watermark to it.
+    ///
+    /// The cut is `min(oldest live pin or anchor, retention-policy floor)`: pins and
+    /// anchors always hold their timestamp alive, and the installed [`RetentionPolicy`]
+    /// can only extend retention further back, never cut below a live reader.
+    pub fn retention_floor(&self) -> u64 {
+        let active = self.active.lock();
+        let pin_floor = match active.keys().next() {
+            Some(&ts) => ts,
+            None => self.timestamp.load(Ordering::SeqCst),
+        };
+        let policy_floor = self.retention.lock().floor();
+        let cut = pin_floor.min(policy_floor);
+        // Publish while still holding the registry lock: a `pin_snapshot_at` serialized
+        // after this pass must observe the watermark the pass will enforce.
+        self.oldest_retained.fetch_max(cut, Ordering::SeqCst);
+        drop(active);
+        cut
+    }
+
+    /// Whether any live pin (or anchor) sits at or below `ts` — used by the
+    /// `read_snapshot` debug assertion that an anchored read never hits the
+    /// oldest-retained fallback.
+    pub(crate) fn has_pin_at_or_below(&self, ts: u64) -> bool {
+        self.active.lock().keys().next().is_some_and(|&first| first <= ts)
     }
 
     pub(crate) fn unpin(&self, handle: SnapshotHandle) {
@@ -136,8 +275,9 @@ impl Camera {
     /// The amortized reclamation hook: data structures call this after every successful
     /// update. Every `every_n_updates`-th call (per the installed
     /// [`crate::ReclaimPolicy::Amortized`] policy) truncates a bounded slice of the next
-    /// registered structure under the current [`Camera::min_active`]; all other calls are
-    /// two relaxed atomic operations. A no-op unless an amortized policy is installed.
+    /// registered structure under the current [`Camera::retention_floor`]; all other
+    /// calls are two relaxed atomic operations. A no-op unless an amortized policy is
+    /// installed.
     pub fn reclaim_tick(&self, guard: &Guard) {
         if let Some(budget) = self.reclaim.tick() {
             self.collect_slice(budget, guard);
@@ -145,17 +285,17 @@ impl Camera {
     }
 
     /// Truncates up to `budget` cells of the *next* registered structure (round-robin)
-    /// under the current [`Camera::min_active`]. Returns what the slice accomplished; a
-    /// pass already in flight on another thread makes this call a no-op.
+    /// under the current [`Camera::retention_floor`]. Returns what the slice
+    /// accomplished; a pass already in flight on another thread makes this call a no-op.
     pub fn collect_slice(&self, budget: usize, guard: &Guard) -> CollectStats {
-        self.reclaim.collect_slice(self.min_active(), budget, guard)
+        self.reclaim.collect_slice(self.retention_floor(), budget, guard)
     }
 
-    /// Truncates up to `budget_per_member` cells of *every* registered structure under the
-    /// current [`Camera::min_active`] (one sweep of the background collector). A pass
-    /// already in flight on another thread makes this call a no-op.
+    /// Truncates up to `budget_per_member` cells of *every* registered structure under
+    /// the current [`Camera::retention_floor`] (one sweep of the background collector).
+    /// A pass already in flight on another thread makes this call a no-op.
     pub fn collect_all(&self, budget_per_member: usize, guard: &Guard) -> CollectStats {
-        self.reclaim.collect_all(self.min_active(), budget_per_member, guard)
+        self.reclaim.collect_all(self.retention_floor(), budget_per_member, guard)
     }
 
     /// Repeatedly runs [`Camera::collect_all`] until one *fresh* full pass retires nothing

@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use crate::camera::Camera;
+use crate::retention::RetentionError;
 use crate::snapshot::{PinnedSnapshot, SnapshotHandle};
 
 /// Something that may be registered with a camera: versioned structures report the camera
@@ -100,6 +101,14 @@ impl<S: ?Sized + CameraAttached> CameraGroup<S> {
     /// snapshot may need while it is alive.
     pub fn snapshot(&self) -> GroupSnapshot<S> {
         GroupSnapshot { pin: self.camera.pin_snapshot(), members: self.members.clone() }
+    }
+
+    /// Pins a group snapshot at an **arbitrary retained timestamp** — the cross-structure
+    /// as-of read. Every member view opened through the returned snapshot observes the
+    /// state as of `ts`, no matter how long ago that was, as long as the timestamp is
+    /// still retained (see [`Camera::pin_snapshot_at`] for the addressability rules).
+    pub fn snapshot_at(&self, ts: u64) -> Result<GroupSnapshot<S>, RetentionError> {
+        Ok(GroupSnapshot { pin: self.camera.pin_snapshot_at(ts)?, members: self.members.clone() })
     }
 }
 
@@ -231,6 +240,23 @@ mod tests {
         let _later = camera.take_snapshot();
         assert_eq!(camera.min_active(), snap.handle().raw());
         drop(snap);
+        assert_eq!(camera.pinned_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_at_opens_past_timestamps() {
+        let camera = Camera::new();
+        let mut group: CameraGroup<dyn CameraAttached> = CameraGroup::new(camera.clone());
+        group.register(Arc::new(Versioned(camera.clone()))).unwrap();
+        let early = camera.take_snapshot().raw();
+        for _ in 0..5 {
+            let _ = camera.take_snapshot();
+        }
+        let snap = group.snapshot_at(early).unwrap();
+        assert_eq!(snap.handle().raw(), early, "a strictly-past timestamp pins exactly");
+        assert_eq!(camera.pinned_count(), 1);
+        drop(snap);
+        assert!(group.snapshot_at(camera.current_timestamp() + 10).is_err());
         assert_eq!(camera.pinned_count(), 0);
     }
 

@@ -34,7 +34,13 @@
 //! * [`CameraGroup`] — a camera plus the structures registered on it; one
 //!   [`CameraGroup::snapshot`] pins a single timestamp under which *every* member can be
 //!   queried, the substrate for cross-structure atomic reads (the data-structure layer turns
-//!   a [`GroupSnapshot`] into per-member query views).
+//!   a [`GroupSnapshot`] into per-member query views), and [`CameraGroup::snapshot_at`]
+//!   opens the same thing at any *retained* past timestamp.
+//! * [`retention`] — the time-travel MVCC surface: named persistent [`Anchor`]s
+//!   ([`Camera::anchor`]), composable [`RetentionPolicy`]s that turn the reclamation
+//!   subsystem into a retention enforcer, [`Camera::pin_snapshot_at`] for pinning
+//!   arbitrary retained timestamps, and the monotone [`Camera::oldest_retained`]
+//!   watermark behind the fallible `view_at(ts)` API (see `docs/time_travel.md`).
 //! * [`direct`] — the paper's §5 "avoiding indirection" optimization for recorded-once data
 //!   structures, storing the timestamp and version link inside the nodes themselves.
 //!
@@ -66,6 +72,7 @@ pub mod camera;
 pub mod direct;
 pub mod group;
 pub mod reclaim;
+pub mod retention;
 pub mod snapshot;
 pub mod versioned;
 pub mod versioned_ptr;
@@ -75,6 +82,7 @@ pub use camera::Camera;
 pub use direct::{DirectVersionedPtr, VersionInfo, VersionedNode};
 pub use group::{CameraAttached, CameraGroup, GroupRegisterError, GroupSnapshot};
 pub use reclaim::{CollectStats, Collectible, Collector, ReclaimPolicy, VersionStats};
+pub use retention::{Anchor, RetentionError, RetentionPolicy, Timestamp};
 pub use snapshot::{PinnedSnapshot, SnapshotHandle};
 pub use versioned::VersionedCas;
 pub use versioned_ptr::{release_node_ref, VersionReferenced, VersionedPtr};

@@ -52,6 +52,11 @@ impl PinnedSnapshot {
     pub fn handle(&self) -> SnapshotHandle {
         self.handle
     }
+
+    /// The camera this snapshot is registered with.
+    pub fn camera(&self) -> &Arc<Camera> {
+        &self.camera
+    }
 }
 
 impl Drop for PinnedSnapshot {

@@ -168,7 +168,27 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     /// raw-vs-pinned handle contract.
     pub fn read_snapshot(&self, handle: SnapshotHandle, guard: &Guard) -> T {
         match self.read_snapshot_impl(handle, guard) {
-            Ok(exact) | Err(exact) => exact,
+            Ok(exact) => exact,
+            Err((oldest_ts, fallback)) => {
+                // The fallback must be unreachable for anchored/pinned timestamps: if a
+                // pin at-or-below the handle is live and accounting is correct, every
+                // truncation cut was <= that pin, so the cut version (ts <= watermark
+                // <= pin <= handle) survives and the walk finds it. Bottoming out with
+                // the oldest retained version *above* the watermark only happens for
+                // born-later objects or raw unpinned handles — both outside the anchored
+                // contract. The conjunction below is exactly "a pinned timestamp lost
+                // retained history": a retention bug.
+                debug_assert!(
+                    !(oldest_ts <= self.camera.oldest_retained()
+                        && self.camera.has_pin_at_or_below(handle.raw())),
+                    "read_snapshot fallback hit for pinned/anchored handle {} \
+                     (oldest retained version ts={}, watermark={})",
+                    handle.raw(),
+                    oldest_ts,
+                    self.camera.oldest_retained()
+                );
+                fallback
+            }
         }
     }
 
@@ -184,20 +204,23 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     }
 
     /// Walks the version list for the newest version with timestamp `<= handle`:
-    /// `Ok(value)` if found, `Err(oldest_retained_value)` if the list bottoms out first.
-    fn read_snapshot_impl(&self, handle: SnapshotHandle, guard: &Guard) -> Result<T, T> {
+    /// `Ok(value)` if found, `Err((oldest_ts, oldest_retained_value))` if the list
+    /// bottoms out first (the pair feeds the anchored-fallback debug assertion in
+    /// [`VersionedCas::read_snapshot`]).
+    fn read_snapshot_impl(&self, handle: SnapshotHandle, guard: &Guard) -> Result<T, (u64, T)> {
         let ts = handle.raw();
         let head = self.head.load(Ordering::SeqCst, guard);
         let mut node = unsafe { head.deref() };
         self.init_ts(node);
         loop {
-            if node.ts.load(Ordering::SeqCst) <= ts {
+            let node_ts = node.ts.load(Ordering::SeqCst);
+            if node_ts <= ts {
                 return Ok(node.val);
             }
             let next = node.nextv.load(Ordering::SeqCst, guard);
             match unsafe { next.as_ref() } {
                 Some(older) => node = older,
-                None => return Err(node.val),
+                None => return Err((node_ts, node.val)),
             }
         }
     }

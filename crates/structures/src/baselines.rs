@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use vcas_core::{Camera, CameraAttached, SnapshotHandle};
+use vcas_core::{Camera, CameraAttached, RetentionError};
 
 use crate::bst::Nbbst;
 use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, SnapshotMap, Value};
@@ -111,13 +111,15 @@ impl CameraAttached for DcBst {
 }
 
 /// Best-effort views: each call revalidates via double collect, but two calls on one view
-/// may observe different states.
+/// may observe different states. `view_at` is honestly unsupported — the tree keeps no
+/// history, so no past timestamp can be answered (it used to silently return current
+/// state).
 impl SnapshotSource for DcBst {
     fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
         Box::new(BestEffortView::new(self))
     }
-    fn view_at(&self, _handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
-        self.snapshot_view()
+    fn view_at(&self, _ts: u64) -> Result<Box<dyn MapSnapshotView + '_>, RetentionError> {
+        Err(RetentionError::Unsupported)
     }
 }
 
@@ -191,13 +193,13 @@ impl CameraAttached for LockBst {
 }
 
 /// Best-effort views: each call takes the lock exclusively, but two calls on one view may
-/// observe different states.
+/// observe different states. `view_at` is honestly unsupported — no history is kept.
 impl SnapshotSource for LockBst {
     fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
         Box::new(BestEffortView::new(self))
     }
-    fn view_at(&self, _handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
-        self.snapshot_view()
+    fn view_at(&self, _ts: u64) -> Result<Box<dyn MapSnapshotView + '_>, RetentionError> {
+        Err(RetentionError::Unsupported)
     }
 }
 
@@ -256,13 +258,14 @@ impl CameraAttached for LockHashMap {
 }
 
 /// Best-effort views: each call holds the read lock for its own duration only, so two
-/// calls on one view may observe different states.
+/// calls on one view may observe different states. `view_at` is honestly unsupported —
+/// no history is kept.
 impl SnapshotSource for LockHashMap {
     fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
         Box::new(BestEffortView::new(self))
     }
-    fn view_at(&self, _handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
-        self.snapshot_view()
+    fn view_at(&self, _ts: u64) -> Result<Box<dyn MapSnapshotView + '_>, RetentionError> {
+        Err(RetentionError::Unsupported)
     }
 }
 
@@ -359,6 +362,29 @@ mod tests {
         let mut scanned: Vec<Key> = map.snapshot_iter().map(|(k, _)| k).collect();
         scanned.sort_unstable();
         assert_eq!(scanned, (0..10u64).collect::<Vec<_>>());
+    }
+
+    /// Regression test for the silent-lie API: the baselines keep no history, so under
+    /// the fallible `view_at(ts)` signature they must refuse every timestamp instead of
+    /// returning a current-time view pretending to be historical.
+    #[test]
+    fn baseline_view_at_refuses_instead_of_lying() {
+        let sources: [&dyn SnapshotSource; 3] =
+            [&DcBst::new(), &LockBst::new(), &LockHashMap::new()];
+        for source in sources {
+            for ts in [0u64, 1, u64::MAX] {
+                assert!(
+                    matches!(source.view_at(ts), Err(RetentionError::Unsupported)),
+                    "history-less baseline must reject view_at({ts})"
+                );
+            }
+            assert!(
+                matches!(source.diff(0, 1), Err(RetentionError::Unsupported)),
+                "diff over a history-less baseline must reject too"
+            );
+            // The honest alternative still works.
+            assert!(source.snapshot_view().timestamp().is_none());
+        }
     }
 
     #[test]

@@ -23,8 +23,8 @@ use std::sync::Arc;
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{
-    release_node_ref, Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionReferenced,
-    VersionedPtr,
+    release_node_ref, Camera, CameraAttached, PinnedSnapshot, RetentionError, SnapshotHandle,
+    VersionReferenced, VersionedPtr,
 };
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
 
@@ -603,15 +603,21 @@ impl Nbbst {
         }
     }
 
-    /// Opens a view anchored at `handle` (a timestamp from this tree's camera, e.g. a
-    /// [`vcas_core::GroupSnapshot::handle`]). The handle is *not* pinned by the view —
-    /// the caller is responsible for keeping it safe. Best-effort in plain mode.
-    pub fn view_at(&self, handle: SnapshotHandle) -> NbbstView<'_> {
-        let view = match &self.mode {
-            Mode::Plain => View::Current,
-            Mode::Versioned(_) => View::Snapshot(handle),
-        };
-        NbbstView { tree: self, _pin: None, view, guard: pin() }
+    /// Opens a view of the tree **as of** timestamp `ts` — any retained timestamp, not
+    /// just one being taken right now. The view pins `ts`
+    /// ([`vcas_core::Camera::pin_snapshot_at`]), so it stays exact until dropped even
+    /// while writers run and reclamation truncates other history. Fails if `ts` is below
+    /// the retention watermark, in the future, or if the tree is in plain (history-less)
+    /// mode; see [`vcas_core::RetentionError`].
+    pub fn view_at(&self, ts: u64) -> Result<NbbstView<'_>, RetentionError> {
+        match &self.mode {
+            Mode::Plain => Err(RetentionError::Unsupported),
+            Mode::Versioned(camera) => {
+                let pinned = camera.pin_snapshot_at(ts)?;
+                let view = View::Snapshot(pinned.handle());
+                Ok(NbbstView { tree: self, _pin: Some(pinned), view, guard: pin() })
+            }
+        }
     }
 
     /// A view of the current state, deliberately ignoring snapshots (the paper's
@@ -687,7 +693,7 @@ impl Nbbst {
             Mode::Plain => return 0,
             Mode::Versioned(c) => c.clone(),
         };
-        let min_active = camera.min_active();
+        let min_active = camera.retention_floor();
         let guard = pin();
         let mut retired = 0;
         let mut stack = vec![self.root.load(Ordering::SeqCst, &guard)];
@@ -977,8 +983,8 @@ impl SnapshotSource for Nbbst {
     fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
         Box::new(self.view())
     }
-    fn view_at(&self, handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
-        Box::new(Nbbst::view_at(self, handle))
+    fn view_at(&self, ts: u64) -> Result<Box<dyn MapSnapshotView + '_>, RetentionError> {
+        Ok(Box::new(Nbbst::view_at(self, ts)?))
     }
 }
 
@@ -1178,12 +1184,18 @@ mod tests {
         for k in 100..150u64 {
             tree.insert(k, k);
         }
-        // A view anchored at the old handle must still see the original 50 keys.
-        let view = tree.view_at(handle);
+        // An as-of view at the old timestamp must still see the original 50 keys.
+        let view = tree.view_at(handle.raw()).unwrap();
         let keys: Vec<Key> = view.scan().iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, (0..50u64).collect::<Vec<_>>());
         assert_eq!(view.timestamp(), Some(handle));
         assert_eq!(view.len(), 50);
+        // The as-of view holds its own pin; plain trees report Unsupported.
+        assert_eq!(camera.pinned_count(), 1);
+        drop(view);
+        assert_eq!(camera.pinned_count(), 0);
+        let plain = Nbbst::new_plain();
+        assert!(matches!(plain.view_at(0), Err(RetentionError::Unsupported)));
         // And the current state is the new one.
         let now: Vec<Key> = tree.scan().iter().map(|(k, _)| *k).collect();
         assert_eq!(now, (100..150u64).collect::<Vec<_>>());

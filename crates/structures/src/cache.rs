@@ -1,0 +1,318 @@
+//! Memoization for as-of and diff queries over immutable history.
+//!
+//! A timestamp, once taken, names a frozen state: re-running the same query against the
+//! same `(structure, timestamp)` pair must return the same answer forever. That makes
+//! historical query results perfectly cacheable — the only invalidation a cache needs is
+//! *eviction* when retention reclaims the history below a watermark, and even that is
+//! memory hygiene rather than a correctness requirement (a cached answer for an evicted
+//! timestamp is still the answer that timestamp had).
+//!
+//! [`QueryCache`] keys entries by `(SourceId, timestamp, query shape)`. Structures are
+//! named by a monotonically increasing [`SourceId`] handed out by
+//! [`QueryCache::register_source`] rather than by pointer, so a freed structure's
+//! address being reused can never alias a stale entry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vcas_core::{RetentionError, Timestamp};
+
+use crate::queries::{run_query_on_view, HashQueryKind, QueryKind, QueryOutcome};
+use crate::view::SnapshotSource;
+
+use parking_lot::Mutex;
+
+/// Identity of a structure registered with a [`QueryCache`].
+///
+/// Monotone per cache: each [`QueryCache::register_source`] call returns a fresh id, so
+/// ids are never reused even if the structure they named is dropped and its memory
+/// recycled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u64);
+
+/// The shape of a cached historical query.
+///
+/// Two queries share a cache entry exactly when their shapes are equal and they target
+/// the same source at the same timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CachedQuery {
+    /// A point/range query (see [`QueryKind`]) over an ordered-map view.
+    Point {
+        /// Which query to run.
+        kind: QueryKind,
+        /// First key probed.
+        start: u64,
+        /// Key-space width the query spreads over.
+        key_range: u64,
+    },
+    /// A hash-map query (see [`HashQueryKind`]).
+    Hash {
+        /// Which query to run.
+        kind: HashQueryKind,
+        /// First key probed.
+        start: u64,
+        /// Key-space width the query spreads over.
+        key_range: u64,
+    },
+    /// A temporal diff whose *newer* endpoint is the entry's timestamp and whose older
+    /// endpoint is `since`.
+    Diff {
+        /// Older endpoint of the diff.
+        since: Timestamp,
+    },
+}
+
+impl CachedQuery {
+    /// The oldest timestamp this query dereferences when its entry timestamp is `ts`.
+    ///
+    /// Point and hash queries touch only `ts` itself; a diff also touches its `since`
+    /// endpoint, which is never newer than the entry timestamp.
+    fn oldest_touched(&self, ts: Timestamp) -> Timestamp {
+        match self {
+            CachedQuery::Point { .. } | CachedQuery::Hash { .. } => ts,
+            CachedQuery::Diff { since } => (*since).min(ts),
+        }
+    }
+}
+
+/// Full cache key: which structure, as of when, asked what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Structure identity from [`QueryCache::register_source`].
+    pub source: SourceId,
+    /// Snapshot timestamp the query is evaluated at.
+    pub ts: Timestamp,
+    /// Query shape.
+    pub query: CachedQuery,
+}
+
+/// A memo table for historical queries, with hit/miss/eviction counters.
+///
+/// Entries are only ever removed by [`QueryCache::evict_below`] (typically driven by
+/// [`QueryCache::maintain`] from a camera's retention watermark); normal writes to the
+/// underlying structures never invalidate anything because cached answers are pinned to
+/// immutable timestamps.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    entries: Mutex<HashMap<CacheKey, QueryOutcome>>,
+    next_source: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a structure and returns its cache identity.
+    ///
+    /// Call once per structure and reuse the id; registering the same structure twice
+    /// yields two ids that never share entries.
+    pub fn register_source(&self) -> SourceId {
+        SourceId(self.next_source.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Looks up a cached outcome, counting a hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<QueryOutcome> {
+        let found = self.entries.lock().get(key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores an outcome. Overwriting an existing entry is harmless — by construction
+    /// both computations observed the same frozen state, so the values are equal.
+    pub fn insert(&self, key: CacheKey, outcome: QueryOutcome) {
+        self.entries.lock().insert(key, outcome);
+    }
+
+    /// Runs a [`QueryKind`] as of `ts` against `source`, memoized.
+    ///
+    /// On a miss this opens `source.view_at(ts)` (so the timestamp must still be
+    /// retained), runs the query, and stores the outcome. On a hit the view is never
+    /// opened — a hit can therefore be served even *after* the timestamp has been
+    /// reclaimed, and the answer is still correct, because history is immutable.
+    pub fn run_point(
+        &self,
+        id: SourceId,
+        source: &dyn SnapshotSource,
+        ts: Timestamp,
+        kind: QueryKind,
+        start: u64,
+        key_range: u64,
+    ) -> Result<QueryOutcome, RetentionError> {
+        let key = CacheKey { source: id, ts, query: CachedQuery::Point { kind, start, key_range } };
+        if let Some(outcome) = self.lookup(&key) {
+            return Ok(outcome);
+        }
+        let view = source.view_at(ts)?;
+        let outcome = run_query_on_view(view.as_ref(), kind, start, key_range);
+        self.insert(key, outcome);
+        Ok(outcome)
+    }
+
+    /// Drops every entry that dereferences a timestamp below `watermark`.
+    ///
+    /// For point/hash entries that is the entry timestamp; a diff entry is also evicted
+    /// when its `since` endpoint falls below the watermark. Returns how many entries
+    /// were removed.
+    pub fn evict_below(&self, watermark: Timestamp) -> usize {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|key, _| key.query.oldest_touched(key.ts) >= watermark);
+        let evicted = before - entries.len();
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Convenience: evict below `camera.oldest_retained()`.
+    ///
+    /// Call after reclamation passes (or periodically) to keep the cache from pinning
+    /// memory for history the camera has already released.
+    pub fn maintain(&self, camera: &vcas_core::Camera) -> usize {
+        self.evict_below(camera.oldest_retained())
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to recomputation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries removed by [`QueryCache::evict_below`] so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the cache; 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bst::Nbbst;
+    use vcas_core::Camera;
+
+    #[test]
+    fn repeated_as_of_queries_hit_the_cache() {
+        let camera = Camera::new();
+        let tree = Nbbst::new_versioned(&camera);
+        for k in 0..32u64 {
+            tree.insert(k, k * 10);
+        }
+        let ts = camera.take_snapshot().raw();
+        let _anchor = camera.anchor_at("cache-test", ts).unwrap();
+
+        let cache = QueryCache::new();
+        let id = cache.register_source();
+        let first = cache.run_point(id, &tree, ts, QueryKind::Range256, 0, 64).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(first.observed, 32);
+
+        // Grow the tree after the snapshot: the cached as-of answer must not move.
+        for k in 32..64u64 {
+            tree.insert(k, k);
+        }
+        let second = cache.run_point(id, &tree, ts, QueryKind::Range256, 0, 64).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(second, first, "cached hit replays the frozen answer");
+        // A fresh (uncached, current) view sees the new keys.
+        assert_eq!(
+            run_query_on_view(tree.snapshot_view().as_ref(), QueryKind::Range256, 0, 64).observed,
+            64
+        );
+        assert!(cache.hit_rate() > 0.4 && cache.hit_rate() < 0.6);
+    }
+
+    #[test]
+    fn distinct_sources_never_share_entries() {
+        let camera = Camera::new();
+        let a = Nbbst::new_versioned(&camera);
+        let b = Nbbst::new_versioned(&camera);
+        a.insert(1, 100);
+        b.insert(2, 200);
+        let ts = camera.take_snapshot().raw();
+        let _anchor = camera.anchor_at("two-sources", ts).unwrap();
+
+        let cache = QueryCache::new();
+        let ida = cache.register_source();
+        let idb = cache.register_source();
+        assert_ne!(ida, idb);
+        let ra = cache.run_point(ida, &a, ts, QueryKind::Range256, 0, 8).unwrap();
+        let rb = cache.run_point(idb, &b, ts, QueryKind::Range256, 0, 8).unwrap();
+        assert_eq!(cache.misses(), 2, "same shape + ts but different source ids");
+        assert_ne!(ra.key_sum, rb.key_sum);
+    }
+
+    #[test]
+    fn eviction_tracks_the_watermark_and_spares_newer_entries() {
+        let cache = QueryCache::new();
+        let id = SourceId(7);
+        let point = |ts| CacheKey {
+            source: id,
+            ts,
+            query: CachedQuery::Point { kind: QueryKind::Range256, start: 0, key_range: 8 },
+        };
+        let diff = |since, ts| CacheKey { source: id, ts, query: CachedQuery::Diff { since } };
+        let outcome = QueryOutcome { observed: 1, key_sum: 1 };
+        cache.insert(point(5), outcome);
+        cache.insert(point(20), outcome);
+        // Diff entry at a new timestamp but reaching back to an old one: must be
+        // evicted with the old history even though its own ts survives.
+        cache.insert(diff(5, 20), outcome);
+        cache.insert(diff(15, 20), outcome);
+
+        let evicted = cache.evict_below(10);
+        assert_eq!(evicted, 2, "ts=5 point and since=5 diff go");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 2);
+        assert!(cache.lookup(&point(20)).is_some());
+        assert!(cache.lookup(&diff(15, 20)).is_some());
+        assert!(cache.lookup(&point(5)).is_none());
+    }
+
+    #[test]
+    fn missing_history_surfaces_as_retention_error_not_a_guess() {
+        let camera = Camera::new();
+        let tree = Nbbst::new_versioned(&camera);
+        tree.insert(1, 1);
+        let now = camera.take_snapshot().raw();
+
+        let cache = QueryCache::new();
+        let id = cache.register_source();
+        let err = cache.run_point(id, &tree, now + 1_000, QueryKind::Range256, 0, 8).unwrap_err();
+        assert!(matches!(err, RetentionError::InFuture { .. }));
+        // The failed attempt counted as a miss but cached nothing.
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.is_empty());
+    }
+}

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
-use vcas_core::{Camera, CameraAttached, PinnedSnapshot, SnapshotHandle};
+use vcas_core::{Camera, CameraAttached, PinnedSnapshot, RetentionError, SnapshotHandle};
 use vcas_ebr::{pin, Guard};
 
 use crate::list::HarrisList;
@@ -154,15 +154,19 @@ impl VcasHashMap {
         VcasHashMapView { map: self, _pin: pinned, handle, guard: pin() }
     }
 
-    /// Opens a view anchored at `handle` (a timestamp from this table's camera, e.g. a
-    /// [`vcas_core::GroupSnapshot::handle`]). The handle is *not* pinned by the view.
-    /// Best-effort in plain mode.
-    pub fn view_at(&self, handle: SnapshotHandle) -> VcasHashMapView<'_> {
-        let handle = match &self.mode {
-            MapMode::Plain => None,
-            MapMode::Versioned(_) => Some(handle),
-        };
-        VcasHashMapView { map: self, _pin: None, handle, guard: pin() }
+    /// Opens a view of the whole table **as of** timestamp `ts` — any retained
+    /// timestamp. The view pins `ts` ([`vcas_core::Camera::pin_snapshot_at`]), so it
+    /// stays exact until dropped. Fails if `ts` is below the retention watermark, in the
+    /// future, or if the table is in plain (history-less) mode.
+    pub fn view_at(&self, ts: u64) -> Result<VcasHashMapView<'_>, RetentionError> {
+        match &self.mode {
+            MapMode::Plain => Err(RetentionError::Unsupported),
+            MapMode::Versioned(camera) => {
+                let pinned = camera.pin_snapshot_at(ts)?;
+                let handle = Some(pinned.handle());
+                Ok(VcasHashMapView { map: self, _pin: Some(pinned), handle, guard: pin() })
+            }
+        }
     }
 
     /// Looks up every key in `keys` against one snapshot: in versioned mode all lookups
@@ -375,8 +379,8 @@ impl SnapshotSource for VcasHashMap {
     fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
         Box::new(self.view())
     }
-    fn view_at(&self, handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
-        Box::new(VcasHashMap::view_at(self, handle))
+    fn view_at(&self, ts: u64) -> Result<Box<dyn MapSnapshotView + '_>, RetentionError> {
+        Ok(Box::new(VcasHashMap::view_at(self, ts)?))
     }
 }
 

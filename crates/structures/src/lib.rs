@@ -29,8 +29,16 @@
 //! * [`queries`] — the multi-point query set of the paper's Table 2 (`range`, `succ`,
 //!   `findif`, `multisearch`) executed over views ([`queries::run_query_on_view`],
 //!   [`queries::QueryKind::Composed`] batches), the hash-map analogues (`multiget4/16`,
-//!   `scanall`), and cross-structure queries ([`queries::CrossQueryKind`]) over two views
-//!   sharing a timestamp.
+//!   `scanall`), cross-structure queries ([`queries::CrossQueryKind`]) over two views
+//!   sharing a timestamp, and **temporal queries** ([`queries::TemporalQueryKind`]):
+//!   as-of batches over retained history and diffs between two timestamps.
+//! * [`diff`] — temporal diff queries: [`diff::diff_views`] computes the
+//!   inserted/removed/changed key sets between two frozen views of one structure
+//!   ([`view::SnapshotSource::diff`] is the one-call form over two timestamps).
+//! * [`cache`] — [`cache::QueryCache`], a memo table for historical queries. History is
+//!   immutable, so `(structure, timestamp, query)` keys never go stale; the only
+//!   maintenance is retention-driven eviction ([`cache::QueryCache::maintain`]). See
+//!   `docs/time_travel.md`.
 //!
 //! All ordered structures implement [`traits::ConcurrentMap`] (point operations) and, where
 //! supported, [`traits::AtomicRangeMap`] (atomic multi-point queries), which is what the
@@ -43,12 +51,19 @@
 
 pub mod baselines;
 pub mod bst;
+pub mod cache;
+pub mod diff;
 pub mod hashmap;
 pub mod list;
 pub mod queries;
 pub mod queue;
 pub mod traits;
 pub mod view;
+
+pub use cache::{CacheKey, CachedQuery, QueryCache, SourceId};
+pub use diff::{diff_views, TemporalDiff};
+pub use queries::{run_temporal_query, TemporalQueryKind};
+pub use view::GroupTimeTravelExt;
 
 /// Contention backoff for lock-free retry loops; free on the first attempt.
 ///

@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{
-    release_node_ref, Camera, CameraAttached, PinnedSnapshot, SnapshotHandle, VersionReferenced,
-    VersionedPtr,
+    release_node_ref, Camera, CameraAttached, PinnedSnapshot, RetentionError, SnapshotHandle,
+    VersionReferenced, VersionedPtr,
 };
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
 
@@ -318,15 +318,19 @@ impl HarrisList {
         }
     }
 
-    /// Opens a view anchored at `handle` (a timestamp from this list's camera, e.g. a
-    /// [`vcas_core::GroupSnapshot::handle`]). The handle is *not* pinned by the view.
-    /// Best-effort in plain mode.
-    pub fn view_at(&self, handle: SnapshotHandle) -> HarrisListView<'_> {
-        let view = match &self.mode {
-            Mode::Plain => View::Current,
-            Mode::Versioned(_) => View::Snapshot(handle),
-        };
-        HarrisListView { list: self, _pin: None, view, guard: pin() }
+    /// Opens a view of the list **as of** timestamp `ts` — any retained timestamp. The
+    /// view pins `ts` ([`vcas_core::Camera::pin_snapshot_at`]), so it stays exact until
+    /// dropped. Fails if `ts` is below the retention watermark, in the future, or if the
+    /// list is in plain (history-less) mode.
+    pub fn view_at(&self, ts: u64) -> Result<HarrisListView<'_>, RetentionError> {
+        match &self.mode {
+            Mode::Plain => Err(RetentionError::Unsupported),
+            Mode::Versioned(camera) => {
+                let pinned = camera.pin_snapshot_at(ts)?;
+                let view = View::Snapshot(pinned.handle());
+                Ok(HarrisListView { list: self, _pin: Some(pinned), view, guard: pin() })
+            }
+        }
     }
 
     fn current_view(&self) -> HarrisListView<'_> {
@@ -708,8 +712,8 @@ impl SnapshotSource for HarrisList {
     fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
         Box::new(self.view())
     }
-    fn view_at(&self, handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_> {
-        Box::new(HarrisList::view_at(self, handle))
+    fn view_at(&self, ts: u64) -> Result<Box<dyn MapSnapshotView + '_>, RetentionError> {
+        Ok(Box::new(HarrisList::view_at(self, ts)?))
     }
 }
 

@@ -14,20 +14,31 @@
 //!   camera ([`vcas_core::Camera::pin_snapshot`]), so version-list truncation
 //!   (`collect_versions`) can never reclaim a version the view may still read. This is the
 //!   default and the only safe choice for long-lived views.
-//! * **Raw-handle views** ([`SnapshotSource::view_at`]) anchor at a caller-supplied
-//!   [`SnapshotHandle`] without pinning it. They are how [`GroupSnapshot`] opens one view
-//!   per member at a *single shared timestamp* (the group's own pin keeps the handle safe);
-//!   used standalone they are only safe while nothing truncates version lists.
+//! * **As-of views** ([`SnapshotSource::view_at`]) open the structure at an **arbitrary
+//!   retained timestamp** — not just one being taken right now. They pin internally
+//!   ([`vcas_core::Camera::pin_snapshot_at`]) and are fallible: a timestamp below the
+//!   retention watermark, in the future, or addressed to a history-less structure yields
+//!   a [`RetentionError`] instead of silently wrong data. Named
+//!   [`vcas_core::Anchor`]s and [`vcas_core::RetentionPolicy`]s decide which timestamps
+//!   stay addressable (see `docs/time_travel.md`).
 //! * **Best-effort views** ([`BestEffortView`], returned by the baseline comparators)
 //!   delegate every call to the structure's current state. Each *individual* call keeps
 //!   whatever atomicity the baseline's mechanism provides (double-collect validation,
 //!   exclusive locking), but two calls on the same view may observe different states.
 //!
+//! Time-travel composes: [`SnapshotSource::diff`] reports every key that changed between
+//! two retained timestamps ([`TemporalDiff`]), and [`GroupTimeTravelExt::group_view_at`]
+//! pins a whole [`StructureGroup`] at one retained past timestamp for cross-structure
+//! as-of reads.
+//!
 //! See `docs/snapshot_views.md` for the lifetime rules and the cross-structure consistency
 //! story.
 
-use vcas_core::{CameraAttached, CameraGroup, GroupSnapshot, SnapshotHandle};
+use vcas_core::{
+    CameraAttached, CameraGroup, GroupSnapshot, RetentionError, SnapshotHandle, Timestamp,
+};
 
+use crate::diff::{diff_views, TemporalDiff};
 use crate::traits::{AtomicRangeMap, Key, Value};
 
 /// A read-only view of a map at (ideally) a single snapshot timestamp.
@@ -105,11 +116,28 @@ pub trait SnapshotSource: CameraAttached {
     /// an EBR pin, delaying memory reclamation.
     fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_>;
 
-    /// Opens a view anchored at `handle`, a timestamp previously taken from this
-    /// structure's camera — typically [`GroupSnapshot::handle`], whose pin keeps the handle
-    /// safe. The returned view does **not** pin the handle itself. Structures without a
-    /// camera ignore the handle and return a best-effort view.
-    fn view_at(&self, handle: SnapshotHandle) -> Box<dyn MapSnapshotView + '_>;
+    /// Opens a consistent view of the structure **as of** timestamp `ts` — any retained
+    /// timestamp, not just one being pinned right now. The view pins `ts` internally
+    /// ([`vcas_core::Camera::pin_snapshot_at`]), so it stays exact until dropped even
+    /// under concurrent truncation.
+    ///
+    /// Fails with [`RetentionError::Truncated`] when `ts` is below the camera's retention
+    /// watermark (keep an [`vcas_core::Anchor`] or a [`vcas_core::RetentionPolicy`] to
+    /// keep timestamps addressable), [`RetentionError::InFuture`] when `ts` has not
+    /// happened yet, and [`RetentionError::Unsupported`] on structures that keep no
+    /// version history (plain-mode structures, the lock-based baselines) — which
+    /// previously returned silently-wrong best-effort data from this method.
+    fn view_at(&self, ts: Timestamp) -> Result<Box<dyn MapSnapshotView + '_>, RetentionError>;
+
+    /// Every key inserted, removed, or changed between `ts1` and `ts2` (order
+    /// irrelevant — the endpoints are normalized). Opens one as-of view per endpoint and
+    /// walks each once; see [`diff_views`].
+    fn diff(&self, ts1: Timestamp, ts2: Timestamp) -> Result<TemporalDiff, RetentionError> {
+        let (lo, hi) = (ts1.min(ts2), ts1.max(ts2));
+        let older = self.view_at(lo)?;
+        let newer = self.view_at(hi)?;
+        Ok(diff_views(older.as_ref(), newer.as_ref()))
+    }
 }
 
 /// A [`CameraGroup`] over heterogeneous map structures — the usual way to set up
@@ -119,10 +147,11 @@ pub type StructureGroup = CameraGroup<dyn SnapshotSource>;
 /// Per-member views of a [`GroupSnapshot`]: every view is anchored at the snapshot's one
 /// shared timestamp, so reads across *different structures* are mutually consistent.
 ///
-/// The returned views borrow the snapshot, so they cannot outlive its pin — the lifetime
-/// rule that makes raw-handle views safe here.
+/// The returned views borrow the snapshot, so they cannot outlive its pin.
 pub trait GroupQueryExt {
-    /// Opens the `index`-th member's view at the group's shared timestamp.
+    /// Opens the `index`-th member's view at the group's shared timestamp. Members with
+    /// no version history (plain-mode structures, baselines) fall back to a best-effort
+    /// current-state view, keeping heterogeneous groups usable.
     fn view_of(&self, index: usize) -> Box<dyn MapSnapshotView + '_>;
 
     /// Opens one view per member, in registration order, all at the shared timestamp.
@@ -131,11 +160,40 @@ pub trait GroupQueryExt {
 
 impl GroupQueryExt for GroupSnapshot<dyn SnapshotSource> {
     fn view_of(&self, index: usize) -> Box<dyn MapSnapshotView + '_> {
-        self.member(index).view_at(self.handle())
+        match self.member(index).view_at(self.handle().raw()) {
+            Ok(view) => view,
+            // History-less members are read best-effort, exactly as before the fallible
+            // redesign — the group's one shared timestamp cannot cover them anyway.
+            Err(RetentionError::Unsupported) => self.member(index).snapshot_view(),
+            // The group's own pin keeps its timestamp retained, and a pinned handle is
+            // always strictly in the past (take_snapshot advances the counter past it).
+            Err(e) => unreachable!("group timestamp must stay addressable: {e}"),
+        }
     }
 
     fn views(&self) -> Vec<Box<dyn MapSnapshotView + '_>> {
         (0..self.len()).map(|i| self.view_of(i)).collect()
+    }
+}
+
+/// As-of reads over a whole [`StructureGroup`]: the cross-structure time-travel surface.
+pub trait GroupTimeTravelExt {
+    /// Pins a group snapshot at **retained timestamp** `ts` (see
+    /// [`vcas_core::Camera::pin_snapshot_at`] for the addressability rules), then open
+    /// per-member views with [`GroupQueryExt::view_of`] — every member is read as of the
+    /// same past instant.
+    fn group_view_at(
+        &self,
+        ts: Timestamp,
+    ) -> Result<GroupSnapshot<dyn SnapshotSource>, RetentionError>;
+}
+
+impl GroupTimeTravelExt for StructureGroup {
+    fn group_view_at(
+        &self,
+        ts: Timestamp,
+    ) -> Result<GroupSnapshot<dyn SnapshotSource>, RetentionError> {
+        self.snapshot_at(ts)
     }
 }
 

@@ -1,5 +1,6 @@
 //! The multithreaded throughput driver.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -8,13 +9,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use vcas_core::reclaim::{Collectible, VersionStats};
-use vcas_core::Camera;
+use vcas_core::{Camera, RetentionError};
 use vcas_structures::queries::{run_cross_query, run_query_on_view, CrossQueryKind, QueryKind};
 use vcas_structures::traits::{AtomicRangeMap, Key, SnapshotMap};
-use vcas_structures::view::{GroupQueryExt, SnapshotSource, StructureGroup};
-use vcas_structures::{Nbbst, VcasHashMap};
+use vcas_structures::view::{GroupQueryExt, MapSnapshotView, SnapshotSource, StructureGroup};
+use vcas_structures::{Nbbst, QueryCache, VcasHashMap};
 
-use crate::spec::{ComposedScenario, HashMapScenario, ReclaimScenario, WorkloadSpec};
+use crate::spec::{
+    ComposedScenario, HashMapScenario, ReclaimScenario, TimeTravelMode, TimeTravelScenario,
+    WorkloadSpec,
+};
 
 /// Result of a timed run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -591,6 +595,299 @@ pub fn run_reclaim(spec: &WorkloadSpec, scenario: &ReclaimScenario) -> ReclaimRe
     result
 }
 
+/// Result of a `timetravel` scenario run (see [`run_timetravel`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TimeTravelResult {
+    /// Throughput of the update threads (inserts + deletes) during the timed window.
+    pub updates: Throughput,
+    /// Individual temporal queries the reader issued (as-of revalidations, diffs, or
+    /// cached lookups, depending on the mode).
+    pub queries: u64,
+    /// Number of named anchors held across the window.
+    pub anchors: usize,
+    /// Query-cache hits ([`TimeTravelMode::Cached`] only; zero otherwise).
+    pub cache_hits: u64,
+    /// Query-cache misses ([`TimeTravelMode::Cached`] only; zero otherwise).
+    pub cache_misses: u64,
+    /// [`Camera::approx_live_versions`] at the end of the window, while every anchor was
+    /// still held — the cost of retention.
+    pub retained_versions_while_anchored: u64,
+    /// [`Camera::approx_live_versions`] after the last anchor dropped and collection
+    /// reached quiescence — the proof that dropping anchors releases their history.
+    pub retained_versions_after_release: u64,
+}
+
+impl TimeTravelResult {
+    /// Fraction of cache lookups answered from the cache; 0.0 outside `Cached` mode.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the `timetravel` scenario: `spec.threads` update-heavy writers advance history on
+/// a versioned [`Nbbst`] with automatic reclamation installed (`scenario.policy`), while
+/// the driver holds a ladder of `scenario.anchors` **named anchors** — each taken after a
+/// burst of churn, each with its full state captured as a model — and re-validates them
+/// `scenario.reader_checks` times across the timed window.
+///
+/// Per [`TimeTravelMode`], each reader round asserts (panicking with the spec's seed):
+///
+/// * `AsOf` — `view_at(anchor_ts)` replays each anchor's model exactly, forever;
+/// * `Diff` — `diff(ts_i, ts_j)` over each adjacent anchor pair *reconciles*: applying
+///   the diff to the older model reproduces the newer model;
+/// * `Cached` — cached as-of answers equal uncached ones, with a positive hit rate.
+///
+/// After the window the driver drops every anchor, sweeps to quiescence, and asserts the
+/// anchored timestamps are now truncated (`view_at` fails), their versions are reclaimed,
+/// and the usual node-conservation invariants hold.
+pub fn run_timetravel(spec: &WorkloadSpec, scenario: &TimeTravelScenario) -> TimeTravelResult {
+    let camera = Camera::new();
+    let tree = Arc::new(Nbbst::new_versioned(&camera));
+    camera.register_collectible(&tree);
+    let collector = scenario.policy.install(&camera);
+    prefill(tree.as_ref(), spec);
+    let key_range = spec.key_range();
+
+    // Build the anchor ladder: churn, anchor, capture the model — repeatedly. Each model
+    // is the full frozen state at its anchor's timestamp.
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7A1E_7A1E);
+    let mut anchors = Vec::new();
+    let mut models: Vec<BTreeMap<Key, u64>> = Vec::new();
+    for epoch in 0..scenario.anchors.max(1) {
+        for _ in 0..256 {
+            let key = rng.gen_range(1..=key_range);
+            if rng.gen_bool(0.5) {
+                tree.insert(key, key.wrapping_mul(epoch as u64 + 1));
+            } else {
+                tree.remove(key);
+            }
+        }
+        let anchor = camera.anchor(&format!("epoch-{epoch}"));
+        let view = tree.view_at(anchor.timestamp()).unwrap_or_else(|e| {
+            panic!("anchored ts must be addressable: {e} (seed={:#x})", spec.seed)
+        });
+        models.push(view.iter().collect());
+        anchors.push(anchor);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..spec.threads.max(1) {
+        let tree = tree.clone();
+        let stop = stop.clone();
+        let total_ops = total_ops.clone();
+        let seed = spec.seed + t as u64;
+        let skew = spec.skew;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = skew.sample(&mut rng, key_range);
+                if rng.gen_bool(0.5) {
+                    tree.insert(key, key);
+                } else {
+                    tree.remove(key);
+                }
+                ops += 1;
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+
+    // The reader: re-validate every anchor each round while the writers churn.
+    let cache = QueryCache::new();
+    let source_id = cache.register_source();
+    let mut queries = 0u64;
+    let checks = scenario.reader_checks.max(1);
+    for check in 0..checks {
+        std::thread::sleep(Duration::from_millis(spec.duration_ms / checks as u64));
+        match scenario.mode {
+            TimeTravelMode::AsOf => {
+                for (anchor, model) in anchors.iter().zip(&models) {
+                    let view = tree.view_at(anchor.timestamp()).unwrap_or_else(|e| {
+                        panic!(
+                            "check {check}: anchor {:?} lost its history: {e} (seed={:#x})",
+                            anchor.name(),
+                            spec.seed
+                        )
+                    });
+                    let replay: BTreeMap<Key, u64> = view.iter().collect();
+                    assert_eq!(
+                        &replay,
+                        model,
+                        "check {check}: anchored as-of answer drifted under writers \
+                         (anchor {:?}, seed={:#x})",
+                        anchor.name(),
+                        spec.seed
+                    );
+                    queries += 1;
+                }
+            }
+            TimeTravelMode::Diff => {
+                for i in 0..anchors.len().saturating_sub(1) {
+                    let (older, newer) = (&anchors[i], &anchors[i + 1]);
+                    let d = tree.diff(older.timestamp(), newer.timestamp()).unwrap_or_else(|e| {
+                        panic!("check {check}: diff lost history: {e} (seed={:#x})", spec.seed)
+                    });
+                    // Reconciliation: old model + diff = new model, key for key.
+                    let mut patched = models[i].clone();
+                    for (k, old) in &d.removed {
+                        assert_eq!(
+                            patched.remove(k),
+                            Some(*old),
+                            "check {check}: diff removed a key the old state lacked \
+                             (seed={:#x})",
+                            spec.seed
+                        );
+                    }
+                    for (k, v) in &d.inserted {
+                        assert_eq!(
+                            patched.insert(*k, *v),
+                            None,
+                            "check {check}: diff inserted a key the old state had \
+                             (seed={:#x})",
+                            spec.seed
+                        );
+                    }
+                    for (k, old, new) in &d.changed {
+                        assert_eq!(
+                            patched.insert(*k, *new),
+                            Some(*old),
+                            "check {check}: diff changed a key with the wrong old value \
+                             (seed={:#x})",
+                            spec.seed
+                        );
+                    }
+                    assert_eq!(
+                        patched,
+                        models[i + 1],
+                        "check {check}: diff between anchors does not reconcile \
+                         (seed={:#x})",
+                        spec.seed
+                    );
+                    queries += 1;
+                }
+            }
+            TimeTravelMode::Cached => {
+                for anchor in &anchors {
+                    let cached = cache
+                        .run_point(
+                            source_id,
+                            tree.as_ref(),
+                            anchor.timestamp(),
+                            QueryKind::Composed { n: 5 },
+                            1,
+                            key_range,
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "check {check}: cached as-of lost history: {e} (seed={:#x})",
+                                spec.seed
+                            )
+                        });
+                    // The uncached answer, recomputed from scratch, must agree.
+                    let view = tree.view_at(anchor.timestamp()).unwrap();
+                    let uncached =
+                        run_query_on_view(&view, QueryKind::Composed { n: 5 }, 1, key_range);
+                    assert_eq!(
+                        cached, uncached,
+                        "check {check}: cached answer diverged from recomputation \
+                         (seed={:#x})",
+                        spec.seed
+                    );
+                    queries += 2;
+                }
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        join_worker(h, spec);
+    }
+    let elapsed = start.elapsed();
+    let retained_versions_while_anchored = camera.approx_live_versions();
+    if scenario.mode == TimeTravelMode::Cached {
+        assert!(cache.hits() > 0, "cached mode never hit its own cache (seed={:#x})", spec.seed);
+    }
+
+    // Release the history: every anchor drops, the background collector (if any) stops,
+    // and one quiescence sweep must reclaim everything the anchors were holding.
+    let oldest_anchor_ts = anchors.first().map(|a| a.timestamp()).unwrap_or(0);
+    drop(anchors);
+    drop(collector);
+    let guard = vcas_ebr::pin();
+    let sweep = camera.collect_to_quiescence(1 << 20, 64, &guard);
+    assert!(sweep.completed_cycle, "collection never reached quiescence (seed={:#x})", spec.seed);
+    drop(guard);
+    let pending = drain_ebr_settled();
+    assert_eq!(pending, 0, "EBR domain failed to drain at quiescence (seed={:#x})", spec.seed);
+
+    // The anchored past is gone: the watermark moved past it, so as-of now *fails*
+    // instead of answering from thin air...
+    assert!(
+        matches!(tree.view_at(oldest_anchor_ts), Err(RetentionError::Truncated { .. })),
+        "dropped anchor's timestamp still addressable after quiescence (seed={:#x})",
+        spec.seed
+    );
+    // ...and the cache's eviction hook agrees with the camera's watermark.
+    if scenario.mode == TimeTravelMode::Cached {
+        assert!(
+            cache.maintain(&camera) > 0,
+            "retention eviction removed nothing from the cache (seed={:#x})",
+            spec.seed
+        );
+    }
+    let retained_versions_after_release = camera.approx_live_versions();
+    assert!(
+        retained_versions_after_release <= retained_versions_while_anchored,
+        "releasing anchors grew history (seed={:#x})",
+        spec.seed
+    );
+    let live_nodes = camera.approx_live_nodes();
+    let expected_nodes = 2 * tree.len() as u64 + 3;
+    assert_eq!(
+        live_nodes, expected_nodes,
+        "live-node estimate diverged from the surviving tree (seed={:#x})",
+        spec.seed
+    );
+
+    let result = TimeTravelResult {
+        updates: Throughput { operations: total_ops.load(Ordering::Relaxed), elapsed },
+        queries,
+        anchors: scenario.anchors.max(1),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        retained_versions_while_anchored,
+        retained_versions_after_release,
+    };
+
+    // Full conservation once the structure itself goes away.
+    drop(tree);
+    let pending = drain_ebr_settled();
+    assert_eq!(pending, 0, "EBR domain failed to drain after drop (seed={:#x})", spec.seed);
+    assert_eq!(
+        camera.nodes_created(),
+        camera.nodes_retired() + camera.nodes_dropped(),
+        "node conservation violated after structure drop (seed={:#x})",
+        spec.seed
+    );
+    assert_eq!(
+        camera.approx_live_versions(),
+        0,
+        "version nodes leaked past structure drop (seed={:#x})",
+        spec.seed
+    );
+
+    result
+}
+
 /// The sorted-insertion workload of Fig. 2i: an ascending key sequence is split into chunks
 /// of 1024 keys placed on a global work queue; threads grab chunks and insert them. Returns
 /// the insert throughput (keys inserted per second over the whole run).
@@ -795,6 +1092,34 @@ mod tests {
                 r.live_versions_after_quiescence >= r.live_nodes_after_quiescence / 2,
                 "{policy:?}: implausible live accounting: {r:?}"
             );
+        }
+    }
+
+    #[test]
+    fn timetravel_run_validates_every_mode() {
+        use crate::spec::{TimeTravelMode, TimeTravelScenario};
+        for mode in TimeTravelMode::all() {
+            let mut spec = WorkloadSpec::new(2, 150, Mix::update_heavy());
+            spec.duration_ms = 60;
+            let scenario =
+                TimeTravelScenario { mode, anchors: 3, reader_checks: 3, ..Default::default() };
+            // run_timetravel asserts the frozen-anchor, diff-reconciliation, cache-
+            // coherence, history-release, and node-conservation invariants itself.
+            let r = run_timetravel(&spec, &scenario);
+            assert!(r.updates.operations > 0, "{mode:?}: no updates (seed={:#x})", spec.seed);
+            assert!(r.queries > 0, "{mode:?}: no temporal queries (seed={:#x})", spec.seed);
+            assert_eq!(r.anchors, 3);
+            assert!(
+                r.retained_versions_after_release <= r.retained_versions_while_anchored,
+                "{mode:?}: releasing anchors grew history (seed={:#x})",
+                spec.seed
+            );
+            if mode == TimeTravelMode::Cached {
+                assert!(r.cache_hits > 0, "no cache hits (seed={:#x})", spec.seed);
+                assert!(r.cache_hit_rate() > 0.0, "zero hit rate (seed={:#x})", spec.seed);
+            } else {
+                assert_eq!(r.cache_hits + r.cache_misses, 0, "{mode:?} must not touch the cache");
+            }
         }
     }
 

@@ -24,7 +24,12 @@
 //!   BST with automatic version-list reclamation installed
 //!   ([`vcas_core::ReclaimPolicy`]), plus one long-pinned reader — the driver asserts the
 //!   pinned view stays frozen and that version lists are bounded once the pin drops
-//!   ([`ReclaimScenario`]).
+//!   ([`ReclaimScenario`]);
+//! * the `timetravel` scenario ([`run_timetravel`]): writers advance history while the
+//!   driver holds a ladder of named [`vcas_core::Anchor`]s and keeps issuing as-of,
+//!   temporal-diff, or cached historical queries against them ([`TimeTravelScenario`]) —
+//!   asserting anchored answers are frozen forever, diffs reconcile model-for-model, and
+//!   dropping the last anchor lets reclamation collect the retained history.
 //!
 //! Throughput is reported in operations per second ([`Throughput`]). All randomness
 //! derives from [`WorkloadSpec::seed`] (default [`spec::DEFAULT_SEED`]), so runs are
@@ -37,6 +42,9 @@ pub mod spec;
 
 pub use driver::{
     run_composed, run_dedicated, run_hashmap, run_mixed, run_reclaim, run_sorted_insert,
-    ComposedResult, DedicatedResult, ReclaimResult, Throughput,
+    run_timetravel, ComposedResult, DedicatedResult, ReclaimResult, Throughput, TimeTravelResult,
 };
-pub use spec::{ComposedScenario, HashMapScenario, KeySkew, Mix, ReclaimScenario, WorkloadSpec};
+pub use spec::{
+    ComposedScenario, HashMapScenario, KeySkew, Mix, ReclaimScenario, TimeTravelMode,
+    TimeTravelScenario, WorkloadSpec,
+};

@@ -99,6 +99,67 @@ impl Default for ReclaimScenario {
     }
 }
 
+/// Which flavor of time-travel queries the readers of the `timetravel` scenario issue
+/// (see `driver::run_timetravel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeTravelMode {
+    /// As-of queries: every reader round re-opens `view_at(anchor_ts)` for each named
+    /// anchor and asserts the answers are byte-identical to the model captured when the
+    /// anchor was created — frozen forever, no matter how far the writers have moved on.
+    AsOf,
+    /// Temporal diffs: every reader round diffs each adjacent anchor pair and asserts
+    /// the diff *reconciles* — applying it to the older anchor's model reproduces the
+    /// newer anchor's model exactly.
+    Diff,
+    /// Cached as-of queries: readers go through a `QueryCache`, and the driver asserts
+    /// cached answers equal uncached ones and that a positive hit rate was achieved.
+    Cached,
+}
+
+impl TimeTravelMode {
+    /// Every mode, in reporting order.
+    pub fn all() -> [TimeTravelMode; 3] {
+        [TimeTravelMode::AsOf, TimeTravelMode::Diff, TimeTravelMode::Cached]
+    }
+
+    /// The label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimeTravelMode::AsOf => "asof",
+            TimeTravelMode::Diff => "diff",
+            TimeTravelMode::Cached => "cached",
+        }
+    }
+}
+
+/// Parameters of the `timetravel` workload scenario (see `driver::run_timetravel`):
+/// writers advance history on a versioned BST with automatic reclamation installed,
+/// while the driver holds a ladder of named anchors and keeps issuing as-of / diff /
+/// cached queries against them, asserting anchored history stays frozen and is released
+/// (and reclaimed) once the last anchor drops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeTravelScenario {
+    /// Which query flavor the reader issues each round.
+    pub mode: TimeTravelMode,
+    /// Number of named anchors in the ladder (epochs of retained history).
+    pub anchors: usize,
+    /// How many reader rounds re-validate the anchors during the timed window.
+    pub reader_checks: u32,
+    /// How reclamation is driven during the window; anchors must survive it regardless.
+    pub policy: vcas_core::ReclaimPolicy,
+}
+
+impl Default for TimeTravelScenario {
+    fn default() -> Self {
+        TimeTravelScenario {
+            mode: TimeTravelMode::AsOf,
+            anchors: 4,
+            reader_checks: 4,
+            policy: vcas_core::ReclaimPolicy::Amortized { every_n_updates: 128, budget: 64 },
+        }
+    }
+}
+
 /// Parameters of the `composed` workload scenario: view-driven query execution against a
 /// BST and a hash map sharing one camera (see `driver::run_composed`). Each query thread
 /// repeatedly takes one *group snapshot*, opens one view per structure at the shared
