@@ -11,7 +11,8 @@ use vcas_core::{
 };
 use vcas_ebr::{pin, Owned};
 use vcas_structures::queries::{run_query, run_query_on_view, QueryKind};
-use vcas_structures::{Nbbst, VcasHashMap};
+use vcas_structures::view::MapSnapshotView;
+use vcas_structures::{Nbbst, VcasHashMap, VcasSkipList};
 
 struct DirectNode {
     _payload: u64,
@@ -148,6 +149,46 @@ fn bench_view_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// What the streaming ordered-scan path buys over the collect-and-sort fallback: the same
+/// range / successor queries on one reused skip-list view, answered (a) by the native
+/// streaming iterators (`range_iter` / `successors_iter`: O(log n) seek + k yields) and
+/// (b) the way an unordered view must — materialize the whole view through `iter`, sort,
+/// cut the window. The delta is what `docs/ordered_queries.md` calls the ordered-view
+/// contract.
+fn bench_range_scan(c: &mut Criterion) {
+    const SIZE: u64 = 4_096;
+    let list = VcasSkipList::new_versioned_default();
+    for k in vcas_bench::shuffled_keys(SIZE) {
+        list.insert(k, k);
+    }
+    let view = list.view();
+    let mut group = c.benchmark_group("range_scan");
+    for width in [16u64, 256] {
+        let label = format!("w{width}");
+        let mut anchor = 1u64;
+        group.bench_with_input(BenchmarkId::new("streaming", &label), &width, |b, &width| {
+            b.iter(|| {
+                anchor = anchor % SIZE + 1;
+                let hi = anchor.saturating_add(width - 1);
+                std::hint::black_box(view.range_iter(anchor, hi).count())
+            })
+        });
+        let mut anchor = 1u64;
+        group.bench_with_input(BenchmarkId::new("sort_over_iter", &label), &width, |b, &width| {
+            b.iter(|| {
+                anchor = anchor % SIZE + 1;
+                let hi = anchor.saturating_add(width - 1);
+                let mut all: Vec<(u64, u64)> = MapSnapshotView::iter(&view).collect();
+                all.sort_unstable_by_key(|&(k, _)| k);
+                std::hint::black_box(
+                    all.iter().filter(|&&(k, _)| (anchor..=hi).contains(&k)).count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 /// What automatic version-list reclamation costs the update path: the identical
 /// insert/remove toggle on a versioned BST with reclamation off, driven by amortized
 /// update hooks, and delegated to a background collector thread. `none` leaks version
@@ -187,6 +228,6 @@ fn bench_reclaim_ablation(c: &mut Criterion) {
 criterion_group! {
     name = ablation;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_indirect_vs_direct, bench_hashmap_versioning_overhead, bench_view_reuse, bench_reclaim_ablation
+    targets = bench_indirect_vs_direct, bench_hashmap_versioning_overhead, bench_view_reuse, bench_range_scan, bench_reclaim_ablation
 }
 criterion_main!(ablation);

@@ -6,7 +6,9 @@ use vcas_core::Camera;
 use vcas_ebr::pin;
 use vcas_structures::queries::{run_hash_query, run_query, HashQueryKind, QueryKind};
 use vcas_structures::traits::{AtomicRangeMap, SnapshotMap};
-use vcas_structures::{DcBst, HarrisList, LockBst, LockHashMap, MsQueue, Nbbst, VcasHashMap};
+use vcas_structures::{
+    DcBst, HarrisList, LockBst, LockHashMap, MsQueue, Nbbst, VcasHashMap, VcasSkipList,
+};
 use vcas_workload::{
     run_dedicated, run_hashmap, run_mixed, run_sorted_insert, HashMapScenario, KeySkew, Mix,
     WorkloadSpec,
@@ -52,6 +54,7 @@ fn contenders() -> Vec<(&'static str, Arc<dyn AtomicRangeMap>)> {
         ("DcBST", Arc::new(DcBst::new())),
         ("LockBST", Arc::new(LockBst::new())),
         ("VcasList", Arc::new(HarrisList::new_versioned_default())),
+        ("VcasSkipList", Arc::new(VcasSkipList::new_versioned_default())),
     ]
 }
 
@@ -87,6 +90,7 @@ fn fresh_by_name(name: &str) -> Arc<dyn AtomicRangeMap> {
         "DcBST" => Arc::new(DcBst::new()),
         "LockBST" => Arc::new(LockBst::new()),
         "VcasList" => Arc::new(HarrisList::new_versioned_default()),
+        "VcasSkipList" => Arc::new(VcasSkipList::new_versioned_default()),
         other => panic!("unknown structure {other}"),
     }
 }

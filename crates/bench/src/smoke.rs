@@ -17,7 +17,8 @@ use std::sync::Arc;
 use vcas_core::{Camera, ReclaimPolicy};
 use vcas_structures::queries::{run_query, HashQueryKind, QueryKind};
 use vcas_structures::traits::AtomicRangeMap;
-use vcas_structures::{DcBst, HarrisList, LockBst, Nbbst, VcasHashMap};
+use vcas_structures::view::MapSnapshotView;
+use vcas_structures::{DcBst, HarrisList, LockBst, Nbbst, VcasHashMap, VcasSkipList};
 use vcas_workload::{
     run_composed, run_hashmap, run_mixed, run_reclaim, run_timetravel, ComposedScenario,
     HashMapScenario, KeySkew, Mix, ReclaimScenario, TimeTravelMode, TimeTravelScenario,
@@ -112,6 +113,7 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
         ("VcasBST", Arc::new(Nbbst::new_versioned(&Camera::new()))),
         ("BST", Arc::new(Nbbst::new_plain())),
         ("VcasList", Arc::new(HarrisList::new_versioned_default())),
+        ("VcasSkipList", Arc::new(VcasSkipList::new_versioned_default())),
         ("DcBST", Arc::new(DcBst::new())),
         ("LockBST", Arc::new(LockBst::new())),
     ];
@@ -147,6 +149,91 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
         let window = std::time::Duration::from_millis(cfg.duration_ms);
         let qps = crate::experiments::timed_query_qps(map.as_ref(), kind, cfg.size, window);
         rows.push(SmokeRow::throughput(format!("query-{}/VcasHashMap", kind.label()), qps / 1e6));
+    }
+
+    // Streaming ordered-query rows on a prefilled versioned skip list: the Table-2
+    // `range256` query (now served by `range_iter` in O(log n + 256)) and a succ16-class
+    // successor scan (`successors_iter(..).take(16)`). The keys are exactly `1..=size`,
+    // so every query's observed key count is computable in closed form — asserted on
+    // every iteration, making "the streaming path visits exactly the advertised window"
+    // an enforced acceptance criterion, not just a throughput number.
+    let skiplist = VcasSkipList::new_versioned_default();
+    for k in shuffled_keys(cfg.size) {
+        skiplist.insert(k, k);
+    }
+    let window = std::time::Duration::from_millis(cfg.duration_ms);
+    for (id, range256) in
+        [("query-range256/VcasSkipList", true), ("query-succ16/VcasSkipList", false)]
+    {
+        let start = std::time::Instant::now();
+        let mut queries = 0u64;
+        let mut anchor = 1u64;
+        while start.elapsed() < window {
+            anchor = anchor % cfg.size + 1;
+            if range256 {
+                let out = run_query(&skiplist, QueryKind::Range256, anchor, cfg.size);
+                let expected = cfg.size.min(anchor.saturating_add(256)) - anchor + 1;
+                assert_eq!(
+                    out.observed as u64,
+                    expected,
+                    "{id}: range [{anchor}, {}] observed a wrong key count",
+                    anchor + 256
+                );
+            } else {
+                let view = skiplist.view();
+                let n = view.successors_iter(anchor).take(16).count() as u64;
+                let expected = (cfg.size - anchor).min(16);
+                assert_eq!(n, expected, "{id}: succ16 after {anchor} observed a wrong count");
+            }
+            queries += 1;
+        }
+        let qps = queries as f64 / start.elapsed().as_secs_f64();
+        rows.push(SmokeRow::throughput(id.to_string(), qps / 1e6));
+    }
+
+    // Range-scan ablation: the same succ16-class query answered (a) by the streaming
+    // iterator (seek + 16 yields) and (b) the way the pre-streaming fallback did it —
+    // materialize the whole view through its unordered iterator, sort, then cut the
+    // window. One reused view per row, so the pair differs only in scan mechanism.
+    {
+        let view = skiplist.view();
+        let mut mechanism_qps = [0.0f64; 2];
+        for (slot, (id, streaming)) in
+            [("range-ablation/streaming", true), ("range-ablation/sort-over-iter", false)]
+                .into_iter()
+                .enumerate()
+        {
+            let start = std::time::Instant::now();
+            let mut queries = 0u64;
+            let mut anchor = 1u64;
+            while start.elapsed() < window {
+                anchor = anchor % cfg.size + 1;
+                let expected = (cfg.size - anchor).min(16) as usize;
+                let n = if streaming {
+                    view.successors_iter(anchor).take(16).count()
+                } else {
+                    let mut all: Vec<(u64, u64)> = MapSnapshotView::iter(&view).collect();
+                    all.sort_unstable_by_key(|&(k, _)| k);
+                    all.iter().filter(|&&(k, _)| k > anchor).take(16).count()
+                };
+                assert_eq!(n, expected, "{id}: succ16 after {anchor} observed a wrong count");
+                queries += 1;
+            }
+            mechanism_qps[slot] = queries as f64 / start.elapsed().as_secs_f64();
+            rows.push(SmokeRow::throughput(id.to_string(), mechanism_qps[slot] / 1e6));
+        }
+        // The streaming path must beat materialize-and-sort by a wide margin; the bound
+        // here is deliberately loose against CI noise (the archived rows carry the real
+        // ratio, ~2 orders of magnitude at the default size). At toy sizes (the unit
+        // test's 64-key config) the gap narrows to a constant, so only assert where the
+        // asymptotics can show.
+        assert!(
+            cfg.size < 512 || mechanism_qps[0] >= 5.0 * mechanism_qps[1],
+            "streaming ordered scans not faster than the sort-over-iter fallback: \
+             {:.3} vs {:.3} Mq/s",
+            mechanism_qps[0] / 1e6,
+            mechanism_qps[1] / 1e6,
+        );
     }
 
     // View amortization ablation: the identical cycle of Table-2 sub-queries executed (a)
@@ -369,9 +456,10 @@ mod tests {
     #[test]
     fn smoke_produces_a_row_per_scenario() {
         let rows = run_smoke(&tiny());
-        // 6 ordered + 6 hashmap (2 skews x 3 contenders) + 2 query rows
-        // + 2 view-ablation rows + 1 composed row + 4 reclaim rows + 3 timetravel rows.
-        assert_eq!(rows.len(), 24);
+        // 7 ordered + 6 hashmap (2 skews x 3 contenders) + 2 hash-query rows
+        // + 2 ordered-query rows + 2 range-ablation rows + 2 view-ablation rows
+        // + 1 composed row + 4 reclaim rows + 3 timetravel rows.
+        assert_eq!(rows.len(), 29);
         let ids: std::collections::HashSet<_> = rows.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids.len(), rows.len(), "duplicate smoke ids");
         // The view-amortization comparison and the cross-structure scenario must land in
@@ -379,6 +467,13 @@ mod tests {
         assert!(ids.contains("view-ablation/per-query-snapshot"));
         assert!(ids.contains("view-ablation/reused-view"));
         assert!(ids.contains("composed/VcasGroup"));
+        // The streaming ordered-query rows and the range-scan ablation pair must land in
+        // BENCH_smoke.json (acceptance criterion of the streaming-query redesign).
+        assert!(ids.contains("mixed-update-heavy/VcasSkipList"));
+        assert!(ids.contains("query-range256/VcasSkipList"));
+        assert!(ids.contains("query-succ16/VcasSkipList"));
+        assert!(ids.contains("range-ablation/streaming"));
+        assert!(ids.contains("range-ablation/sort-over-iter"));
         // The reclamation ablation must land too (acceptance criterion of the automatic
         // reclamation subsystem).
         assert!(ids.contains("reclaim/none"));

@@ -943,6 +943,71 @@ impl NbbstView<'_> {
     }
 }
 
+/// Streaming in-order iterator over an [`NbbstView`]: an explicit descent stack replaces
+/// the recursive walk so leaves can be yielded lazily — `O(log n)` to position, one
+/// root-to-leaf continuation per yielded pair, nothing materialized.
+struct NbbstRangeIter<'v, 'a> {
+    view: &'v NbbstView<'a>,
+    /// In-order continuation: internal nodes whose right subtree is still pending, with
+    /// the next leaf to visit on top.
+    stack: Vec<Shared<'v, Node>>,
+    lo: Key,
+    hi: Key,
+}
+
+impl<'v, 'a> NbbstRangeIter<'v, 'a> {
+    fn new(view: &'v NbbstView<'a>, lo: Key, hi: Key) -> NbbstRangeIter<'v, 'a> {
+        let mut it = NbbstRangeIter { view, stack: Vec::new(), lo, hi: hi.min(MAX_KEY) };
+        let root = view.tree.root.load(Ordering::SeqCst, &view.guard);
+        it.push_left(root);
+        it
+    }
+
+    /// Descends toward the first in-range leaf under `node`, stacking the internal nodes
+    /// whose right subtrees remain to be visited. Left subtrees entirely below `lo` are
+    /// skipped (leaf-oriented tree: left keys `< node.key <=` right keys).
+    fn push_left(&mut self, mut node: Shared<'v, Node>) {
+        let view = self.view;
+        loop {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                self.stack.push(node);
+                return;
+            }
+            if self.lo < n.key {
+                self.stack.push(node);
+                node = n.child(0).load_view(view.view, &view.guard);
+            } else {
+                node = n.child(1).load_view(view.view, &view.guard);
+            }
+        }
+    }
+}
+
+impl Iterator for NbbstRangeIter<'_, '_> {
+    type Item = (Key, Value);
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        let view = self.view;
+        while let Some(node) = self.stack.pop() {
+            let n = unsafe { node.deref() };
+            if n.is_leaf() {
+                if n.key > self.hi {
+                    // In-order: every remaining key (dummy leaves included) is larger.
+                    self.stack.clear();
+                    return None;
+                }
+                if n.key >= self.lo {
+                    return Some((n.key, n.value));
+                }
+            } else if self.hi >= n.key {
+                self.push_left(n.child(1).load_view(view.view, &view.guard));
+            }
+        }
+        None
+    }
+}
+
 impl MapSnapshotView for NbbstView<'_> {
     fn get(&self, key: Key) -> Option<Value> {
         NbbstView::get(self, key)
@@ -951,7 +1016,7 @@ impl MapSnapshotView for NbbstView<'_> {
         NbbstView::multi_get(self, keys)
     }
     fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
-        Box::new(self.scan().into_iter())
+        Box::new(NbbstRangeIter::new(self, 0, MAX_KEY))
     }
     fn len(&self) -> usize {
         NbbstView::len(self)
@@ -962,8 +1027,17 @@ impl MapSnapshotView for NbbstView<'_> {
     fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
         NbbstView::range(self, lo, hi)
     }
+    fn range_iter(&self, lo: Key, hi: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(NbbstRangeIter::new(self, lo, hi))
+    }
     fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
         NbbstView::successors(self, key, count)
+    }
+    fn successors_iter(&self, key: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        if key >= MAX_KEY {
+            return Box::new(std::iter::empty());
+        }
+        Box::new(NbbstRangeIter::new(self, key + 1, MAX_KEY))
     }
     fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
         NbbstView::find_if(self, lo, hi, pred)
@@ -1372,6 +1446,22 @@ mod tests {
             stats.max_versions_per_cell < 64,
             "version lists must stay bounded under the amortized hook, got {stats:?}"
         );
+    }
+
+    #[test]
+    fn streaming_range_iter_matches_the_recursive_walk() {
+        for tree in both_modes() {
+            for k in (0..200u64).step_by(3) {
+                tree.insert(k, k + 1);
+            }
+            let view = tree.view();
+            let streamed: Vec<_> = MapSnapshotView::range_iter(&view, 30, 90).collect();
+            assert_eq!(streamed, view.range(30, 90));
+            let all: Vec<_> = MapSnapshotView::iter(&view).collect();
+            assert_eq!(all, view.scan());
+            let succ: Vec<_> = MapSnapshotView::successors_iter(&view, 10).take(4).collect();
+            assert_eq!(succ, view.successors(10, 4));
+        }
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   object so that arbitrary multi-point queries run atomically on a snapshot.
 //! * [`list::HarrisList`] — Harris's lock-free sorted linked list, plain and versioned, with
 //!   atomic range queries, multi-searches and i-th element queries.
+//! * [`skiplist::VcasSkipList`] — a lock-free skip list whose tower pointers are all
+//!   vCAS-versioned (no plain mode): the logarithmic ordered structure behind the
+//!   streaming range-scan engine ([`view::MapSnapshotView::range_iter`]), answering
+//!   ordered queries on a pinned snapshot in `O(log n + k)`. See
+//!   `docs/ordered_queries.md`.
 //! * [`queue::MsQueue`] — the Michael–Scott queue, plain and versioned, with atomic scans,
 //!   i-th-element and peek-both-ends queries.
 //! * [`hashmap::VcasHashMap`] — a lock-free open-bucket hash table whose buckets are
@@ -57,6 +62,7 @@ pub mod hashmap;
 pub mod list;
 pub mod queries;
 pub mod queue;
+pub mod skiplist;
 pub mod traits;
 pub mod view;
 
@@ -102,5 +108,6 @@ pub use hashmap::VcasHashMap;
 pub use list::HarrisList;
 pub use queries::{run_hash_query, run_query, HashQueryKind, QueryKind, QueryOutcome};
 pub use queue::MsQueue;
+pub use skiplist::VcasSkipList;
 pub use traits::{AtomicRangeMap, ConcurrentMap, SnapshotMap};
 pub use view::{BestEffortView, GroupQueryExt, MapSnapshotView, SnapshotSource, StructureGroup};

@@ -672,6 +672,57 @@ impl HarrisListView<'_> {
     }
 }
 
+/// Streaming in-order iterator over a [`HarrisListView`]: a cursor on the view's (frozen
+/// or current) list, one pointer chase per yielded pair. A list has no index, so
+/// positioning at `lo` is `O(position)` — but early-stopping consumers (`find_if`,
+/// `successors().take(c)`) never touch the tail, unlike the collect-everything walk.
+struct ListRangeIter<'v, 'a> {
+    view: &'v HarrisListView<'a>,
+    /// The next node to yield: always live in the view with key in range, or null.
+    curr: Shared<'v, Node>,
+    hi: Key,
+}
+
+impl<'v, 'a> ListRangeIter<'v, 'a> {
+    fn new(view: &'v HarrisListView<'a>, lo: Key, hi: Key) -> ListRangeIter<'v, 'a> {
+        let head = view.list.head.load(Ordering::SeqCst, &view.guard);
+        let first = unsafe { head.deref() }.next.load_view(view.view, &view.guard).with_tag(0);
+        let mut it = ListRangeIter { view, curr: first, hi };
+        it.skip_to_live_geq(lo);
+        it
+    }
+
+    /// Advances `curr` to the first node at-or-after it that is live in the view (next
+    /// pointer unmarked) with key `>= lo`.
+    fn skip_to_live_geq(&mut self, lo: Key) {
+        let view = self.view;
+        while let Some(node) = unsafe { self.curr.as_ref() } {
+            let next = node.next.load_view(view.view, &view.guard);
+            if next.tag() != MARK && node.key >= lo {
+                return;
+            }
+            self.curr = next.with_tag(0);
+        }
+    }
+}
+
+impl Iterator for ListRangeIter<'_, '_> {
+    type Item = (Key, Value);
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        let view = self.view;
+        let node = unsafe { self.curr.as_ref() }?;
+        if node.key > self.hi {
+            self.curr = Shared::null();
+            return None;
+        }
+        let item = (node.key, node.value);
+        self.curr = node.next.load_view(view.view, &view.guard).with_tag(0);
+        self.skip_to_live_geq(0);
+        Some(item)
+    }
+}
+
 impl MapSnapshotView for HarrisListView<'_> {
     fn get(&self, key: Key) -> Option<Value> {
         HarrisListView::get(self, key)
@@ -680,7 +731,7 @@ impl MapSnapshotView for HarrisListView<'_> {
         HarrisListView::multi_get(self, keys)
     }
     fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
-        Box::new(self.scan().into_iter())
+        Box::new(ListRangeIter::new(self, 0, Key::MAX))
     }
     fn len(&self) -> usize {
         HarrisListView::len(self)
@@ -691,8 +742,17 @@ impl MapSnapshotView for HarrisListView<'_> {
     fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
         HarrisListView::range(self, lo, hi)
     }
+    fn range_iter(&self, lo: Key, hi: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(ListRangeIter::new(self, lo, hi))
+    }
     fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
         HarrisListView::successors(self, key, count)
+    }
+    fn successors_iter(&self, key: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        if key == Key::MAX {
+            return Box::new(std::iter::empty());
+        }
+        Box::new(ListRangeIter::new(self, key + 1, Key::MAX))
     }
     fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
         HarrisListView::find_if(self, lo, hi, pred)

@@ -5,6 +5,14 @@
 //! already-open one) and issues the whole query against it, so a batch of queries can
 //! share a single snapshot + EBR pin ([`run_query_on_view`], [`QueryKind::Composed`]).
 //!
+//! The ordered runners consume the **streaming** view methods
+//! ([`MapSnapshotView::range_iter`], [`MapSnapshotView::successors_iter`]) rather than the
+//! materializing `Vec` conveniences: on an ordered view (BST, list, skip list) a
+//! `range256` walks `O(log n + 256)` entries in key order without allocating an
+//! intermediate buffer, `succ1`/`succ128` stop after the requested count, and `findif128`
+//! short-circuits at the first predicate hit. See `docs/ordered_queries.md` for the
+//! streaming-vs-collect contract.
+//!
 //! Unordered structures get their own query set ([`HashQueryKind`] over any
 //! [`SnapshotMap`]): atomic batched lookups and full-table scans, the hash-map analogues
 //! of Table 2's multisearch and full-scan rows. Finally, [`CrossQueryKind`] reads *two*
@@ -106,9 +114,9 @@ pub fn run_query_on_view(
     key_range: Key,
 ) -> QueryOutcome {
     match kind {
-        QueryKind::Range256 => summarize_pairs(&view.range(start, start.saturating_add(256))),
-        QueryKind::Succ1 => summarize_pairs(&view.successors(start, 1)),
-        QueryKind::Succ128 => summarize_pairs(&view.successors(start, 128)),
+        QueryKind::Range256 => summarize_iter(view.range_iter(start, start.saturating_add(256))),
+        QueryKind::Succ1 => summarize_iter(view.successors_iter(start).take(1)),
+        QueryKind::Succ128 => summarize_iter(view.successors_iter(start).take(128)),
         QueryKind::FindIf128 => {
             let hit = view.find_if(start, key_range.max(start + 1), &|k| k % 128 == 0);
             QueryOutcome {
@@ -138,8 +146,17 @@ pub fn run_query_on_view(
     }
 }
 
-fn summarize_pairs(pairs: &[(Key, Value)]) -> QueryOutcome {
-    QueryOutcome { observed: pairs.len(), key_sum: pairs.iter().map(|(k, _)| *k).sum() }
+/// Folds a streaming query result into an outcome without materializing it: the ordered
+/// runners consume [`MapSnapshotView::range_iter`] / [`MapSnapshotView::successors_iter`]
+/// directly, so on an ordered view a query allocates nothing and only touches the pairs
+/// it observes.
+fn summarize_iter(pairs: impl Iterator<Item = (Key, Value)>) -> QueryOutcome {
+    let mut out = QueryOutcome { observed: 0, key_sum: 0 };
+    for (k, _) in pairs {
+        out.observed += 1;
+        out.key_sum = out.key_sum.wrapping_add(k);
+    }
+    out
 }
 
 fn summarize_lookups(results: &[Option<Value>]) -> QueryOutcome {

@@ -1,0 +1,934 @@
+//! A lock-free skip list whose tower pointers are vCAS-versioned: the ordered structure
+//! the streaming range-scan engine is built on.
+//!
+//! The point-operation skeleton is the classic lock-free skip list (Fraser / Herlihy &
+//! Shavit): every node carries a *tower* of next-pointers, a node is logically deleted by
+//! tagging its next-pointers with a mark bit (top-down, the **level-0 mark is the
+//! linearization point**), and traversals physically snip marked nodes as they pass. The
+//! vCAS twist is the paper's §4 recipe: every tower cell is a [`VersionedPtr`] on one
+//! shared [`Camera`], so the whole structure is snapshot-able in constant time and a
+//! pinned view answers arbitrarily many ordered queries — `range`, `successors`,
+//! `find_if`, full scans — **in `O(log n + k)`** by descending the tower inside the
+//! snapshot instead of materializing and sorting the whole set.
+//!
+//! Reclamation follows PR 5's node-conservation protocol exactly (see
+//! [`VersionReferenced`]): tower cells are created with
+//! [`VersionedPtr::from_shared_managed`], so every retained version holds a counted
+//! reference to the node it points at; unlink CASes never free nodes directly — a node is
+//! retired when the last version referencing it is truncated. The list registers as a
+//! [`Collectible`] with a bounded, resumable level-0 cursor.
+//!
+//! # Snapshot descent soundness
+//!
+//! A snapshot traversal reads every cell with `load_snapshot(handle)`. At level 0 this is
+//! exact: the pointers at timestamp `ts` form precisely the list as of `ts`, and a node is
+//! a member iff its own level-0 cell was unmarked at `ts`. Upper levels are used **only to
+//! position** the level-0 walk, and one rule keeps that sound: a node may be adopted as a
+//! descent *waypoint* only if it is a member at `ts` (its level-0 cell at `ts` is
+//! unmarked). A node that was dead at `ts` may still be walked *through* at an upper level
+//! (its frozen pointers are genuine `ts`-time pointers, and keys strictly increase along
+//! them, so the walk terminates), but descending *from* it would be wrong: a dead node's
+//! frozen next-pointer can skip members inserted between its unlink time and `ts`. Every
+//! adopted waypoint is live at `ts`, so its pointers at `ts` are the true successors and
+//! the final level-0 walk starts on the real `ts`-list.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
+use vcas_core::{
+    release_node_ref, Camera, CameraAttached, PinnedSnapshot, RetentionError, SnapshotHandle,
+    VersionReferenced, VersionedPtr,
+};
+use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
+
+use crate::traits::{AtomicRangeMap, ConcurrentMap, Key, SnapshotMap, Value};
+use crate::view::{MapSnapshotView, SnapshotSource};
+
+/// Mark bit on a tower cell: the *owning* node is logically deleted at that level.
+const MARK: usize = 1;
+
+/// Tallest tower a node may have (head always has this height). 2^20 keys keep the
+/// expected search path logarithmic at every size the harness uses.
+pub const MAX_HEIGHT: usize = 20;
+
+/// Skip-list node: key, value, and a tower of versioned next-pointers. The tower length
+/// is the node's height; a cell at level `lvl` only ever points at nodes whose height
+/// exceeds `lvl`.
+struct Node {
+    key: Key,
+    value: Value,
+    tower: Vec<VersionedPtr<Node>>,
+    /// Version-held reference count: one reference per retained version (in any cell)
+    /// pointing at this node, plus the creator reference until publication.
+    refs: AtomicU64,
+}
+
+/// SAFETY: `refs` is touched only by the version-reference protocol, and the list only
+/// republishes pointers obtained from current (head-version) reads under a guard —
+/// snapshot reads are never fed back into a CAS.
+unsafe impl VersionReferenced for Node {
+    fn version_refs(&self) -> &AtomicU64 {
+        &self.refs
+    }
+}
+
+/// The vCAS-versioned lock-free skip list (`VcasSkipList` in benchmark rows).
+///
+/// Unlike [`crate::bst::Nbbst`] and [`crate::list::HarrisList`] there is no plain mode:
+/// the skip list exists to exercise the versioned ordered-query path, so every instance
+/// is attached to a camera from birth.
+pub struct VcasSkipList {
+    head: Atomic<Node>,
+    camera: Arc<Camera>,
+    updates: AtomicU64,
+    /// Resume key for incremental version-list collection ([`Collectible`]): `0` means a
+    /// fresh sweep (head tower first); `k + 1` resumes at the first node with key `> k`.
+    reclaim_cursor: AtomicU64,
+    /// Counter fed through splitmix64 to draw tower heights (geometric, p = 1/2).
+    height_seed: AtomicU64,
+}
+
+impl VcasSkipList {
+    /// Creates a skip list whose tower cells are versioned CAS objects on `camera`.
+    pub fn new_versioned(camera: &Arc<Camera>) -> VcasSkipList {
+        let camera = camera.clone();
+        let tower = (0..MAX_HEIGHT)
+            .map(|_| VersionedPtr::<Node>::from_shared_managed(Shared::null(), &camera))
+            .collect();
+        let head = Node { key: 0, value: 0, tower, refs: AtomicU64::new(1) };
+        // The head sentinel keeps its creator reference (no version node ever points at
+        // it); the destructor frees — and counts — it directly.
+        camera.note_nodes_created(1);
+        VcasSkipList {
+            head: Atomic::new(head),
+            camera,
+            updates: AtomicU64::new(0),
+            reclaim_cursor: AtomicU64::new(0),
+            height_seed: AtomicU64::new(0x5EED_CAFE_F00D_D00D),
+        }
+    }
+
+    /// Creates a skip list with its own private camera.
+    pub fn new_versioned_default() -> VcasSkipList {
+        Self::new_versioned(&Camera::new())
+    }
+
+    /// The camera every tower cell is versioned on.
+    pub fn camera(&self) -> &Arc<Camera> {
+        &self.camera
+    }
+
+    /// Number of successful updates (inserts + removes) applied so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Bookkeeping after a successful insert/remove: count it and give the camera's
+    /// amortized reclamation hook its tick.
+    #[inline]
+    fn after_update(&self, guard: &Guard) {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        self.camera.reclaim_tick(guard);
+    }
+
+    /// Draws a tower height in `1..=MAX_HEIGHT`, geometric with p = 1/2 (splitmix64 over
+    /// a shared counter — deterministic across runs, no thread-local RNG).
+    fn random_height(&self) -> usize {
+        let mut z = self
+            .height_seed
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    // ----- search ---------------------------------------------------------------------
+
+    /// The lock-free skip list's `find`: fills `preds[lvl]`/`succs[lvl]` with the last
+    /// node before `key` and the first node at-or-after it on every level, snipping
+    /// marked nodes along the way (restarting from the head when a snip CAS fails).
+    /// Returns `true` iff an unmarked node with `key` was found (it is `succs[0]`).
+    ///
+    /// Snips never free nodes: the replaced version keeps its counted reference to the
+    /// unlinked node until version-list truncation releases it ([`VersionReferenced`]).
+    fn find<'g>(
+        &self,
+        key: Key,
+        preds: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        succs: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        guard: &'g Guard,
+    ) -> bool {
+        'retry: loop {
+            let head = self.head.load(Ordering::SeqCst, guard);
+            let mut pred = head;
+            for lvl in (0..MAX_HEIGHT).rev() {
+                let mut curr = unsafe { pred.deref() }.tower[lvl].load(guard).with_tag(0);
+                while let Some(c) = unsafe { curr.as_ref() } {
+                    let succ = c.tower[lvl].load(guard);
+                    if succ.tag() == MARK {
+                        // `curr` is deleted at this level: splice it out. The expected
+                        // value has tag 0, so this can never re-link after a node that
+                        // was itself marked meanwhile — the CAS just fails and we retry.
+                        if !unsafe { pred.deref() }.tower[lvl].compare_exchange(
+                            curr,
+                            succ.with_tag(0),
+                            guard,
+                        ) {
+                            continue 'retry;
+                        }
+                        curr = succ.with_tag(0);
+                    } else if c.key < key {
+                        pred = curr;
+                        curr = succ;
+                    } else {
+                        break;
+                    }
+                }
+                preds[lvl] = pred;
+                succs[lvl] = curr;
+            }
+            let found = unsafe { succs[0].as_ref() }.is_some_and(|c| c.key == key);
+            return found;
+        }
+    }
+
+    // ----- point operations ------------------------------------------------------------
+
+    /// Inserts `key`; returns `false` if already present.
+    pub fn insert(&self, key: Key, value: Value) -> bool {
+        let guard = pin();
+        let mut preds = [Shared::null(); MAX_HEIGHT];
+        let mut succs = [Shared::null(); MAX_HEIGHT];
+        let mut attempts = 0u32;
+        loop {
+            crate::backoff(&mut attempts);
+            if self.find(key, &mut preds, &mut succs, &guard) {
+                return false;
+            }
+            let height = self.random_height();
+            let tower = (0..height)
+                .map(|lvl| VersionedPtr::from_shared_managed(succs[lvl], &self.camera))
+                .collect();
+            let node =
+                Owned::new(Node { key, value, tower, refs: AtomicU64::new(1) }).into_shared(&guard);
+            self.camera.note_nodes_created(1);
+            // The level-0 CAS is the linearization point of the insert.
+            if !unsafe { preds[0].deref() }.tower[0].compare_exchange(succs[0], node, &guard) {
+                // Never published: we still own the node. Dropping it drops its tower
+                // cells, releasing the counted references they held on `succs[..]`.
+                self.camera.note_nodes_dropped(1);
+                unsafe { drop(node.into_owned()) };
+                continue;
+            }
+            // Published: the predecessor's level-0 version now holds a counted
+            // reference, so the creator reference is handed off.
+            release_node_ref(node, &self.camera, &guard);
+            self.link_upper(node, height, key, &mut preds, &mut succs, &guard);
+            self.after_update(&guard);
+            return true;
+        }
+    }
+
+    /// Links a freshly published node into levels `1..height`. Stops early (harmlessly —
+    /// upper links are an optimization, membership lives at level 0) if the node is
+    /// removed while we work.
+    fn link_upper<'g>(
+        &self,
+        node: Shared<'g, Node>,
+        height: usize,
+        key: Key,
+        preds: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        succs: &mut [Shared<'g, Node>; MAX_HEIGHT],
+        guard: &'g Guard,
+    ) {
+        let node_ref = unsafe { node.deref() };
+        for lvl in 1..height {
+            loop {
+                let own = node_ref.tower[lvl].load(guard);
+                if own.tag() == MARK {
+                    return; // concurrently removed: stop linking
+                }
+                let succ = succs[lvl];
+                // Point our own cell at the current successor before splicing in.
+                if own != succ && !node_ref.tower[lvl].compare_exchange(own, succ, guard) {
+                    continue;
+                }
+                if unsafe { preds[lvl].deref() }.tower[lvl].compare_exchange(succ, node, guard) {
+                    break;
+                }
+                // Predecessor moved (or got marked): re-locate and retry this level.
+                if !self.find(key, preds, succs, guard) || succs[0] != node {
+                    return; // removed (or replaced by a new node with our key)
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns `false` if not present.
+    pub fn remove(&self, key: Key) -> bool {
+        let guard = pin();
+        let mut preds = [Shared::null(); MAX_HEIGHT];
+        let mut succs = [Shared::null(); MAX_HEIGHT];
+        if !self.find(key, &mut preds, &mut succs, &guard) {
+            return false;
+        }
+        let node = succs[0];
+        let n = unsafe { node.deref() };
+        // Mark the upper cells top-down (idempotent; racing removers may help).
+        for lvl in (1..n.tower.len()).rev() {
+            loop {
+                let next = n.tower[lvl].load(&guard);
+                if next.tag() == MARK {
+                    break;
+                }
+                n.tower[lvl].compare_exchange(next, next.with_tag(MARK), &guard);
+            }
+        }
+        // The level-0 mark CAS is the linearization point of the remove; exactly one
+        // remover wins it. A failed CAS means the cell changed under us (a successor
+        // came or went, or a racing mark landed) — reload and retry on the same node;
+        // no re-`find` is needed because the node's identity is fixed once we hold it.
+        let mut attempts = 0u32;
+        loop {
+            let next = n.tower[0].load(&guard);
+            if next.tag() == MARK {
+                return false; // another remover linearized first
+            }
+            if n.tower[0].compare_exchange(next, next.with_tag(MARK), &guard) {
+                // Physically unlink (best effort; any traversal finishes the job).
+                self.find(key, &mut preds, &mut succs, &guard);
+                self.after_update(&guard);
+                return true;
+            }
+            crate::backoff(&mut attempts);
+        }
+    }
+
+    /// Returns the value associated with `key` in the current state (read-only: never
+    /// snips, like Herlihy & Shavit's wait-free `contains`).
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let guard = pin();
+        let head = self.head.load(Ordering::SeqCst, &guard);
+        let mut pred = head;
+        let mut curr = Shared::null();
+        for lvl in (0..MAX_HEIGHT).rev() {
+            curr = unsafe { pred.deref() }.tower[lvl].load(&guard).with_tag(0);
+            while let Some(c) = unsafe { curr.as_ref() } {
+                let succ = c.tower[lvl].load(&guard);
+                if succ.tag() == MARK {
+                    curr = succ.with_tag(0); // jump over a deleted node
+                } else if c.key < key {
+                    pred = curr;
+                    curr = succ;
+                } else {
+                    break;
+                }
+            }
+        }
+        unsafe { curr.as_ref() }.filter(|c| c.key == key).map(|c| c.value)
+    }
+
+    /// Does the current state contain `key`?
+    pub fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    // ----- snapshot views ---------------------------------------------------------------
+
+    /// Opens a pinned snapshot view of the list's state right now (the primary
+    /// multi-point query surface; see [`crate::view`]).
+    pub fn view(&self) -> VcasSkipListView<'_> {
+        let pinned = self.camera.pin_snapshot();
+        let handle = pinned.handle();
+        VcasSkipListView { list: self, _pin: pinned, handle, guard: pin() }
+    }
+
+    /// Opens a view of the list **as of** timestamp `ts` — any retained timestamp. Fails
+    /// with the same [`RetentionError`] semantics as every other versioned structure.
+    pub fn view_at(&self, ts: u64) -> Result<VcasSkipListView<'_>, RetentionError> {
+        let pinned = self.camera.pin_snapshot_at(ts)?;
+        let handle = pinned.handle();
+        Ok(VcasSkipListView { list: self, _pin: pinned, handle, guard: pin() })
+    }
+
+    /// Number of keys currently stored (counted on one snapshot).
+    pub fn len(&self) -> usize {
+        self.view().len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Incremental version-list collection: each bounded pass truncates the tower cells of
+/// nodes on the *physical* level-0 list (marked nodes included — their history is exactly
+/// what truncation releases), in key order, resuming at the cursor left by the previous
+/// pass. A node visit truncates its whole tower, so a pass may overshoot its budget by up
+/// to `MAX_HEIGHT - 1` cells; in exchange the resume state is a single key.
+impl Collectible for VcasSkipList {
+    fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats {
+        let mut stats = CollectStats::default();
+        let budget = budget.max(1);
+        let start = self.reclaim_cursor.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::SeqCst, guard);
+        let head_ref = unsafe { head.deref() };
+        if start == 0 {
+            for cell in &head_ref.tower {
+                stats.versions_retired += cell.collect_before(min_active, guard);
+                stats.cells_visited += 1;
+            }
+        }
+        let mut curr = head_ref.tower[0].load(guard).with_tag(0);
+        while let Some(n) = unsafe { curr.as_ref() } {
+            let next = n.tower[0].load(guard).with_tag(0);
+            // Nodes below the cursor are only routed through, never re-collected —
+            // counting them against the budget would stall the cursor.
+            if n.key >= start {
+                for cell in &n.tower {
+                    stats.versions_retired += cell.collect_before(min_active, guard);
+                    stats.cells_visited += 1;
+                }
+                if stats.cells_visited >= budget && n.key < u64::MAX {
+                    self.reclaim_cursor.store(n.key + 1, Ordering::Relaxed);
+                    return stats;
+                }
+            }
+            curr = next;
+        }
+        self.reclaim_cursor.store(0, Ordering::Relaxed);
+        stats.completed_cycle = true;
+        stats
+    }
+
+    fn version_stats(&self, guard: &Guard) -> VersionStats {
+        let mut stats = VersionStats::default();
+        let head = self.head.load(Ordering::SeqCst, guard);
+        let head_ref = unsafe { head.deref() };
+        for cell in &head_ref.tower {
+            stats.record_cell(cell.version_count(guard));
+        }
+        let mut curr = head_ref.tower[0].load(guard).with_tag(0);
+        while let Some(n) = unsafe { curr.as_ref() } {
+            for cell in &n.tower {
+                stats.record_cell(cell.version_count(guard));
+            }
+            curr = n.tower[0].load(guard).with_tag(0);
+        }
+        stats
+    }
+}
+
+impl Drop for VcasSkipList {
+    fn drop(&mut self) {
+        // Exclusive access. Every node but the head is owned by the version-reference
+        // protocol: freeing the head drops its tower cells, releasing the references
+        // their retained versions held, and reclamation cascades through every node of
+        // every retained version (deferred through EBR; `vcas_ebr::drain` at a quiescent
+        // point settles the counters). Only the head, which no version node ever pointed
+        // at, is freed — and counted — here.
+        let guard = pin();
+        let head = self.head.load(Ordering::SeqCst, &guard);
+        self.camera.note_nodes_dropped(1);
+        unsafe { drop(Box::from_raw(head.as_raw())) };
+    }
+}
+
+/// A snapshot view of a [`VcasSkipList`]: every query on one view observes the same
+/// timestamp. Holds the snapshot pin and a single EBR guard for its whole lifetime, and
+/// serves the streaming ordered-query API ([`MapSnapshotView::range_iter`]) natively in
+/// `O(log n + k)` via tower descent inside the snapshot.
+pub struct VcasSkipListView<'a> {
+    list: &'a VcasSkipList,
+    /// Keeps the snapshot registered with the camera so version-list truncation cannot
+    /// reclaim versions this view may read.
+    _pin: PinnedSnapshot,
+    handle: SnapshotHandle,
+    guard: Guard,
+}
+
+impl VcasSkipListView<'_> {
+    /// Is `node` a member at this view's timestamp (level-0 cell unmarked at `ts`)?
+    fn live_at(&self, node: &Node) -> bool {
+        node.tower[0].load_snapshot(self.handle, &self.guard).tag() != MARK
+    }
+
+    /// Tower descent at the snapshot: the first node with key `>= lo` that is a member
+    /// at this view's timestamp (see the module docs for the waypoint rule).
+    fn seek(&self, lo: Key) -> Shared<'_, Node> {
+        let head = self.list.head.load(Ordering::SeqCst, &self.guard);
+        let mut way = head;
+        for lvl in (1..MAX_HEIGHT).rev() {
+            let mut curr = unsafe { way.deref() }.tower[lvl]
+                .load_snapshot(self.handle, &self.guard)
+                .with_tag(0);
+            while let Some(c) = unsafe { curr.as_ref() } {
+                if c.key >= lo {
+                    break;
+                }
+                // Adopt live nodes as waypoints; walk *through* nodes dead at ts (their
+                // frozen pointers are still ts-time pointers, but descending from them
+                // could skip members inserted after their unlink).
+                if self.live_at(c) {
+                    way = curr;
+                }
+                curr = c.tower[lvl].load_snapshot(self.handle, &self.guard).with_tag(0);
+            }
+        }
+        // Level 0 is exact: walk the ts-list to the first live key >= lo.
+        let mut curr =
+            unsafe { way.deref() }.tower[0].load_snapshot(self.handle, &self.guard).with_tag(0);
+        while let Some(c) = unsafe { curr.as_ref() } {
+            let own = c.tower[0].load_snapshot(self.handle, &self.guard);
+            if own.tag() != MARK && c.key >= lo {
+                return curr;
+            }
+            curr = own.with_tag(0);
+        }
+        Shared::null()
+    }
+
+    /// The value associated with `key` in this view.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let node = self.seek(key);
+        unsafe { node.as_ref() }.filter(|c| c.key == key).map(|c| c.value)
+    }
+
+    /// Looks up every key in `keys` against this view.
+    pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        keys.iter().map(|&k| self.get(k)).collect()
+    }
+
+    /// Streaming in-order iterator over `lo <= key <= hi`: `O(log n)` positioning, then
+    /// one snapshot pointer chase per yielded pair.
+    pub fn range_iter(&self, lo: Key, hi: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(SkipRangeIter { view: self, curr: self.seek(lo), hi })
+    }
+
+    /// Streaming iterator over every key strictly greater than `key`, ascending.
+    pub fn successors_iter(&self, key: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        if key == Key::MAX {
+            return Box::new(std::iter::empty());
+        }
+        self.range_iter(key + 1, Key::MAX)
+    }
+
+    /// Every `(key, value)` pair with `lo <= key <= hi`, ascending.
+    pub fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        self.range_iter(lo, hi).collect()
+    }
+
+    /// The first `count` pairs with key strictly greater than `key`, ascending.
+    pub fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        self.successors_iter(key).take(count).collect()
+    }
+
+    /// The first pair in `[lo, hi)` (key order) whose key satisfies `pred`.
+    pub fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        if hi == 0 || lo >= hi {
+            return None;
+        }
+        self.range_iter(lo, hi - 1).find(|&(k, _)| pred(k))
+    }
+
+    /// Full scan of the view, ascending.
+    pub fn scan(&self) -> Vec<(Key, Value)> {
+        self.range(0, Key::MAX)
+    }
+
+    /// Number of keys in this view (streaming count; nothing is materialized).
+    pub fn len(&self) -> usize {
+        self.range_iter(0, Key::MAX).count()
+    }
+
+    /// Does this view contain no keys?
+    pub fn is_empty(&self) -> bool {
+        self.range_iter(0, Key::MAX).next().is_none()
+    }
+
+    /// The snapshot timestamp this view reads at.
+    pub fn timestamp(&self) -> SnapshotHandle {
+        self.handle
+    }
+}
+
+/// Streaming range iterator over a pinned skip-list view. `curr` is always a node that is
+/// live at the view's timestamp (or null); advancing chases level-0 snapshot pointers,
+/// skipping nodes dead at the timestamp.
+struct SkipRangeIter<'v, 'a> {
+    view: &'v VcasSkipListView<'a>,
+    curr: Shared<'v, Node>,
+    hi: Key,
+}
+
+impl Iterator for SkipRangeIter<'_, '_> {
+    type Item = (Key, Value);
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        let view = self.view;
+        let c = unsafe { self.curr.as_ref() }?;
+        if c.key > self.hi {
+            self.curr = Shared::null();
+            return None;
+        }
+        let item = (c.key, c.value);
+        let mut next = c.tower[0].load_snapshot(view.handle, &view.guard).with_tag(0);
+        while let Some(n) = unsafe { next.as_ref() } {
+            let own = n.tower[0].load_snapshot(view.handle, &view.guard);
+            if own.tag() != MARK {
+                break;
+            }
+            next = own.with_tag(0);
+        }
+        self.curr = next;
+        Some(item)
+    }
+}
+
+impl MapSnapshotView for VcasSkipListView<'_> {
+    fn get(&self, key: Key) -> Option<Value> {
+        VcasSkipListView::get(self, key)
+    }
+    fn multi_get(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        VcasSkipListView::multi_get(self, keys)
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        VcasSkipListView::range_iter(self, 0, Key::MAX)
+    }
+    fn len(&self) -> usize {
+        VcasSkipListView::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        VcasSkipListView::is_empty(self)
+    }
+    fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
+        VcasSkipListView::range(self, lo, hi)
+    }
+    fn range_iter(&self, lo: Key, hi: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        VcasSkipListView::range_iter(self, lo, hi)
+    }
+    fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
+        VcasSkipListView::successors(self, key, count)
+    }
+    fn successors_iter(&self, key: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        VcasSkipListView::successors_iter(self, key)
+    }
+    fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
+        VcasSkipListView::find_if(self, lo, hi, pred)
+    }
+    fn timestamp(&self) -> Option<SnapshotHandle> {
+        Some(self.handle)
+    }
+}
+
+impl CameraAttached for VcasSkipList {
+    fn attached_camera(&self) -> Option<&Arc<Camera>> {
+        Some(&self.camera)
+    }
+}
+
+impl SnapshotSource for VcasSkipList {
+    fn snapshot_view(&self) -> Box<dyn MapSnapshotView + '_> {
+        Box::new(self.view())
+    }
+    fn view_at(&self, ts: u64) -> Result<Box<dyn MapSnapshotView + '_>, RetentionError> {
+        Ok(Box::new(VcasSkipList::view_at(self, ts)?))
+    }
+}
+
+impl ConcurrentMap for VcasSkipList {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        VcasSkipList::insert(self, key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        VcasSkipList::remove(self, key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        VcasSkipList::contains(self, key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        VcasSkipList::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        "VcasSkipList"
+    }
+}
+
+/// All multi-point queries come from the trait's view-based defaults, which the view
+/// serves through its native streaming iterators.
+impl AtomicRangeMap for VcasSkipList {}
+
+/// Snapshot-timestamped batched reads (shared with the hash map's query set).
+impl SnapshotMap for VcasSkipList {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_contains_remove_sequential() {
+        let sl = VcasSkipList::new_versioned_default();
+        assert!(sl.insert(5, 50));
+        assert!(sl.insert(3, 30));
+        assert!(sl.insert(8, 80));
+        assert!(!sl.insert(5, 99), "duplicate insert must fail");
+        assert!(sl.contains(3));
+        assert_eq!(sl.get(8), Some(80));
+        assert!(!sl.contains(4));
+        assert!(sl.remove(3));
+        assert!(!sl.remove(3), "double remove must fail");
+        assert!(!sl.contains(3));
+        assert_eq!(sl.view().scan(), vec![(5, 50), (8, 80)]);
+    }
+
+    #[test]
+    fn empty_list_queries() {
+        let sl = VcasSkipList::new_versioned_default();
+        assert!(sl.is_empty());
+        assert_eq!(sl.get(1), None);
+        assert!(!sl.remove(1));
+        let view = sl.view();
+        assert_eq!(view.range(0, 100), vec![]);
+        assert_eq!(view.successors(0, 3), vec![]);
+        assert_eq!(view.find_if(0, 100, &|_| true), None);
+        assert_eq!(view.multi_get(&[1, 2, 3]), vec![None, None, None]);
+    }
+
+    #[test]
+    fn tower_heights_are_bounded_and_varied() {
+        let sl = VcasSkipList::new_versioned_default();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4096 {
+            let h = sl.random_height();
+            assert!((1..=MAX_HEIGHT).contains(&h));
+            seen.insert(h);
+        }
+        assert!(seen.len() >= 4, "4096 draws must produce several distinct heights");
+    }
+
+    #[test]
+    fn matches_btreemap_on_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sl = VcasSkipList::new_versioned_default();
+        let mut model = BTreeMap::new();
+        for _ in 0..4000 {
+            let k = rng.gen_range(0..200u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(sl.insert(k, k * 10), model.insert(k, k * 10).is_none()),
+                1 => assert_eq!(sl.remove(k), model.remove(&k).is_some()),
+                _ => assert_eq!(sl.get(k), model.get(&k).copied()),
+            }
+        }
+        let scanned = sl.view().scan();
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn range_successors_findif_on_a_view() {
+        let sl = VcasSkipList::new_versioned_default();
+        for k in (0..100u64).step_by(2) {
+            sl.insert(k, k + 1);
+        }
+        let view = sl.view();
+        assert_eq!(
+            view.range(10, 20),
+            vec![(10, 11), (12, 13), (14, 15), (16, 17), (18, 19), (20, 21)]
+        );
+        assert_eq!(view.successors(13, 3), vec![(14, 15), (16, 17), (18, 19)]);
+        assert_eq!(view.find_if(0, 100, &|k| k % 14 == 0 && k > 0), Some((14, 15)));
+        assert_eq!(view.multi_get(&[4, 5, 6]), vec![Some(5), None, Some(7)]);
+        assert_eq!(view.len(), 50);
+        // Streaming and collecting agree on the same view.
+        let streamed: Vec<_> = view.range_iter(10, 20).collect();
+        assert_eq!(streamed, view.range(10, 20));
+    }
+
+    #[test]
+    fn snapshot_queries_are_stable_under_updates() {
+        let sl = VcasSkipList::new_versioned_default();
+        for k in 0..50u64 {
+            sl.insert(k, k);
+        }
+        let camera = sl.camera().clone();
+        let handle = camera.take_snapshot();
+        for k in 0..50u64 {
+            sl.remove(k);
+        }
+        for k in 100..150u64 {
+            sl.insert(k, k);
+        }
+        let view = sl.view_at(handle.raw()).unwrap();
+        let keys: Vec<Key> = view.scan().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..50u64).collect::<Vec<_>>());
+        assert_eq!(view.timestamp(), handle);
+        assert_eq!(view.len(), 50);
+        assert_eq!(camera.pinned_count(), 1);
+        drop(view);
+        assert_eq!(camera.pinned_count(), 0);
+        let now: Vec<Key> = sl.view().scan().iter().map(|(k, _)| *k).collect();
+        assert_eq!(now, (100..150u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_inserts_partitioned_keys() {
+        let sl = Arc::new(VcasSkipList::new_versioned_default());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let sl = sl.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in (t * 1000)..(t * 1000 + 500) {
+                    assert!(sl.insert(k, k));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sl.len(), 2000);
+        for t in 0..4u64 {
+            for k in (t * 1000)..(t * 1000 + 500) {
+                assert!(sl.contains(k), "missing key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let sl = Arc::new(VcasSkipList::new_versioned_default());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let sl = sl.clone();
+            handles.push(std::thread::spawn(move || {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+                for _ in 0..3000 {
+                    let k = rng.gen_range(0..64u64);
+                    if rng.gen_bool(0.5) {
+                        sl.insert(k, k);
+                    } else {
+                        sl.remove(k);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let scan = sl.view().scan();
+        let keys: Vec<Key> = scan.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "scan must be sorted and duplicate-free");
+        for k in 0..64u64 {
+            assert_eq!(sl.contains(k), keys.contains(&k));
+        }
+    }
+
+    #[test]
+    fn atomic_range_queries_see_prefix_under_ordered_inserts() {
+        // Writer inserts 0,1,2,... in order; every snapshot range query must observe a
+        // gap-free prefix — the paper's atomicity criterion, served here by the
+        // streaming iterator.
+        let sl = Arc::new(VcasSkipList::new_versioned_default());
+        let writer = {
+            let sl = sl.clone();
+            std::thread::spawn(move || {
+                for k in 0..3000u64 {
+                    sl.insert(k, k);
+                }
+            })
+        };
+        let reader = {
+            let sl = sl.clone();
+            std::thread::spawn(move || {
+                for _ in 0..300 {
+                    let view = sl.view();
+                    let keys: Vec<Key> = view.range_iter(0, Key::MAX).map(|(k, _)| k).collect();
+                    let expected: Vec<Key> = (0..keys.len() as u64).collect();
+                    assert_eq!(keys, expected, "atomic range query must see a prefix");
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(sl.len(), 3000);
+    }
+
+    #[test]
+    fn bounded_collection_covers_the_list_in_slices() {
+        let camera = Camera::new();
+        let sl = VcasSkipList::new_versioned(&camera);
+        for k in 1..=200u64 {
+            camera.take_snapshot();
+            sl.insert(k, k);
+        }
+        for k in 1..=100u64 {
+            camera.take_snapshot();
+            sl.remove(k);
+        }
+        let guard = pin();
+        let before = Collectible::version_stats(&sl, &guard);
+        assert!(before.max_versions_per_cell > 1, "churn must have grown version lists");
+
+        let min_active = camera.min_active();
+        let mut passes = 0;
+        let mut retired = 0;
+        loop {
+            let s = sl.collect_bounded(min_active, 8, &guard);
+            retired += s.versions_retired;
+            passes += 1;
+            assert!(passes < 10_000, "bounded collection must terminate");
+            if s.completed_cycle {
+                break;
+            }
+            // A node visit truncates its whole tower (and a fresh pass truncates the
+            // head first), so a slice may overshoot by up to two towers.
+            assert!(s.cells_visited <= 8 + 2 * MAX_HEIGHT, "slice exceeded its budget");
+        }
+        assert!(passes > 1, "budget 8 on a 100-key list must need several slices");
+        assert!(retired > 0);
+        let after = Collectible::version_stats(&sl, &guard);
+        assert!(after.max_versions_per_cell <= 2, "no pins: version lists must be short");
+        assert_eq!(sl.len(), 100, "collection must not change the abstract state");
+    }
+
+    #[test]
+    fn bounded_collection_progresses_past_key_zero_with_budget_one() {
+        let camera = Camera::new();
+        let sl = VcasSkipList::new_versioned(&camera);
+        for k in 0..16u64 {
+            camera.take_snapshot();
+            sl.insert(k, k);
+        }
+        let guard = pin();
+        let min_active = camera.min_active();
+        let mut passes = 0;
+        loop {
+            let s = sl.collect_bounded(min_active, 1, &guard);
+            passes += 1;
+            assert!(passes < 100, "budget-1 passes must still advance the cursor");
+            if s.completed_cycle {
+                break;
+            }
+        }
+        assert!(passes > 1);
+    }
+
+    #[test]
+    fn view_at_honors_retention_errors() {
+        let camera = Camera::new();
+        let sl = VcasSkipList::new_versioned(&camera);
+        sl.insert(1, 1);
+        let now = camera.take_snapshot().raw();
+        assert!(matches!(sl.view_at(now + 1_000), Err(RetentionError::InFuture { .. })));
+        assert!(sl.view_at(now).is_ok());
+    }
+}

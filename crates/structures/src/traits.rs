@@ -74,12 +74,21 @@ pub trait AtomicRangeMap: ConcurrentMap + SnapshotSource {
 
     /// Returns up to `count` `(key, value)` pairs with key strictly greater than `key`, in
     /// ascending order, atomically.
+    ///
+    /// Short-circuits: the view default pulls exactly `count` items from
+    /// [`crate::view::MapSnapshotView::successors_iter`], so on an ordered view this costs
+    /// `O(log n + count)` — it does **not** materialize the whole tail of the map first.
     fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
         self.snapshot_view().successors(key, count)
     }
 
     /// Returns the first `(key, value)` pair in `[lo, hi)` whose key satisfies `pred`,
     /// atomically.
+    ///
+    /// Short-circuits: the view default streams [`crate::view::MapSnapshotView::range_iter`]
+    /// and stops at the first predicate hit, so `pred` is invoked once per entry *visited*,
+    /// not once per entry in the range. Finding a match at the front of a large range costs
+    /// `O(log n + 1)`, which `tests/ordered_streaming.rs` pins with a probe predicate.
     fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
         self.snapshot_view().find_if(lo, hi, pred)
     }

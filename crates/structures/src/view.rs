@@ -43,11 +43,26 @@ use crate::traits::{AtomicRangeMap, Key, Value};
 
 /// A read-only view of a map at (ideally) a single snapshot timestamp.
 ///
-/// Ordered structures answer `range` / `successors` / `find_if` with pruned traversals;
-/// unordered structures inherit the default implementations, which scan [`MapSnapshotView::iter`]
-/// and sort — the hash-map analogue of an ordered query. Every method of one view observes
-/// the same timestamp whenever [`MapSnapshotView::timestamp`] is `Some`; best-effort views
-/// return `None` there and make no cross-call guarantee.
+/// # Streaming vs. collecting ordered queries
+///
+/// The primary ordered-query surface is **streaming**: [`MapSnapshotView::range_iter`]
+/// and [`MapSnapshotView::successors_iter`] return lazy in-order iterators that ordered
+/// views (`VcasSkipListView`, `NbbstView`, `HarrisListView`) serve in `O(log n + k)` by
+/// positioning inside the pinned snapshot and yielding one pair per pointer chase —
+/// nothing is materialized, and consumers that stop early (`find_if`, `successors` with a
+/// small `count`) do `O(log n + matches)` work instead of scanning the whole snapshot.
+/// The `Vec`-returning methods ([`MapSnapshotView::range`] etc.) are collecting
+/// conveniences layered on the iterators.
+///
+/// **Unordered fallback:** structures with no ordered traversal (the hash map) inherit
+/// the default bodies, which scan [`MapSnapshotView::iter`], filter, and sort — correct,
+/// but `O(n log n)` and allocating regardless of how little the caller consumes. The
+/// defaults form a tower (`successors`/`find_if` → `successors_iter`/`range_iter` →
+/// `range` → `iter`), so a view overriding any layer upgrades everything above it.
+///
+/// Every method of one view observes the same timestamp whenever
+/// [`MapSnapshotView::timestamp`] is `Some`; best-effort views return `None` there and
+/// make no cross-call guarantee. See `docs/ordered_queries.md` for the full contract.
 pub trait MapSnapshotView {
     /// The value associated with `key` in this view.
     fn get(&self, key: Key) -> Option<Value>;
@@ -77,6 +92,10 @@ pub trait MapSnapshotView {
     }
 
     /// Every `(key, value)` pair with `lo <= key <= hi`, in ascending key order.
+    ///
+    /// Default: the **unordered fallback** — scan [`MapSnapshotView::iter`], filter, and
+    /// sort (`O(n log n)`, fully materialized). Ordered views override this (or serve it
+    /// through their native [`MapSnapshotView::range_iter`]) in `O(log n + k)`.
     fn range(&self, lo: Key, hi: Key) -> Vec<(Key, Value)> {
         let mut out: Vec<(Key, Value)> =
             self.iter().filter(|(k, _)| (lo..=hi).contains(k)).collect();
@@ -84,20 +103,47 @@ pub trait MapSnapshotView {
         out
     }
 
+    /// Streaming in-order iterator over every pair with `lo <= key <= hi`: the primary
+    /// ordered-query surface (see the trait docs).
+    ///
+    /// Default: the unordered fallback — materialize [`MapSnapshotView::range`] and
+    /// iterate the sorted `Vec`. Ordered views override this with a lazy cursor that
+    /// positions in `O(log n)` and pays one pointer chase per yielded pair, so consumers
+    /// that stop early stop paying.
+    fn range_iter(&self, lo: Key, hi: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        Box::new(self.range(lo, hi).into_iter())
+    }
+
+    /// Streaming in-order iterator over every pair with key **strictly greater** than
+    /// `key` (unbounded above; combine with [`Iterator::take`] for `succ(k, c)`).
+    ///
+    /// Default: delegates to [`MapSnapshotView::range_iter`] over `(key, MAX]`.
+    fn successors_iter(&self, key: Key) -> Box<dyn Iterator<Item = (Key, Value)> + '_> {
+        if key == Key::MAX {
+            return Box::new(std::iter::empty());
+        }
+        self.range_iter(key + 1, Key::MAX)
+    }
+
     /// Up to `count` `(key, value)` pairs with key strictly greater than `key`, ascending.
+    ///
+    /// Default: `successors_iter(key).take(count)` — on an ordered view this stops after
+    /// `count` pairs instead of collecting and sorting the whole tail (the pre-redesign
+    /// behavior, now only reachable through the unordered fallback).
     fn successors(&self, key: Key, count: usize) -> Vec<(Key, Value)> {
-        let mut out: Vec<(Key, Value)> = self.iter().filter(|(k, _)| *k > key).collect();
-        out.sort_unstable_by_key(|(k, _)| *k);
-        out.truncate(count);
-        out
+        self.successors_iter(key).take(count).collect()
     }
 
     /// The first `(key, value)` pair in `[lo, hi)` (key order) whose key satisfies `pred`.
+    ///
+    /// Default: scan [`MapSnapshotView::range_iter`] in key order and stop at the first
+    /// match — on an ordered view a match near `lo` costs `O(log n + 1)`, not a full
+    /// snapshot scan (the pre-redesign short-circuit bug).
     fn find_if(&self, lo: Key, hi: Key, pred: &dyn Fn(Key) -> bool) -> Option<(Key, Value)> {
-        if lo >= hi {
+        if hi == 0 || lo >= hi {
             return None;
         }
-        self.iter().filter(|(k, _)| (lo..hi).contains(k) && pred(*k)).min_by_key(|(k, _)| *k)
+        self.range_iter(lo, hi - 1).find(|&(k, _)| pred(k))
     }
 
     /// The snapshot timestamp this view is anchored at, or `None` for a best-effort view
@@ -282,5 +328,10 @@ mod tests {
         assert!(v.contains(5));
         assert!(!v.contains(2));
         assert_eq!(v.find_if(5, 5, &|_| true), None);
+        assert_eq!(v.find_if(0, 0, &|_| true), None);
+        // The streaming defaults route through the same fallback and agree with it.
+        assert_eq!(v.range_iter(1, 4).collect::<Vec<_>>(), v.range(1, 4));
+        assert_eq!(v.successors_iter(1).collect::<Vec<_>>(), vec![(3, 30), (5, 50)]);
+        assert!(v.successors_iter(Key::MAX).next().is_none());
     }
 }

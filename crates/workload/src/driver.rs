@@ -13,11 +13,11 @@ use vcas_core::{Camera, RetentionError};
 use vcas_structures::queries::{run_cross_query, run_query_on_view, CrossQueryKind, QueryKind};
 use vcas_structures::traits::{AtomicRangeMap, Key, SnapshotMap};
 use vcas_structures::view::{GroupQueryExt, MapSnapshotView, SnapshotSource, StructureGroup};
-use vcas_structures::{Nbbst, QueryCache, VcasHashMap};
+use vcas_structures::{Nbbst, QueryCache, VcasHashMap, VcasSkipList};
 
 use crate::spec::{
-    ComposedScenario, HashMapScenario, ReclaimScenario, TimeTravelMode, TimeTravelScenario,
-    WorkloadSpec,
+    ComposedScenario, HashMapScenario, ReclaimScenario, SkipListScenario, TimeTravelMode,
+    TimeTravelScenario, WorkloadSpec,
 };
 
 /// Result of a timed run.
@@ -595,6 +595,220 @@ pub fn run_reclaim(spec: &WorkloadSpec, scenario: &ReclaimScenario) -> ReclaimRe
     result
 }
 
+/// Result of a `skiplist` scenario run (see [`run_skiplist`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SkipListResult {
+    /// Throughput of the mixed workers (inserts + deletes + finds + range scans).
+    pub updates: Throughput,
+    /// Streaming range scans completed by the workers' range slot.
+    pub range_queries: u64,
+    /// Keys yielded by those streaming scans (range slot + full scans combined).
+    pub range_keys_streamed: u64,
+    /// Full scan-while-update iterations completed (`scenario.scan_every > 0`).
+    pub full_scans: u64,
+    /// Per-cell version-list statistics after the pin dropped and collection reached
+    /// quiescence; the driver asserts `max_versions_per_cell <= 2` here.
+    pub stats_after_drop: VersionStats,
+    /// Skip-list nodes retired through the version-reference protocol over the run.
+    pub nodes_retired: u64,
+    /// [`Camera::approx_live_nodes`] after quiescence, asserted equal to the surviving
+    /// list's node count exactly (`len + 1` — one node per key plus the head sentinel).
+    pub live_nodes_after_quiescence: u64,
+}
+
+/// Runs the `skiplist` scenario: `spec.threads` mixed workers drive a versioned
+/// [`VcasSkipList`] with the spec's insert/delete/find mix, the mix's range slot issuing
+/// **streaming** range scans ([`vcas_structures::view::MapSnapshotView::range_iter`])
+/// whose widths are drawn from `scenario.range_width`, optionally interleaved with full
+/// scan-while-update iterations — while **one long-pinned reader** (the driver thread)
+/// holds a snapshot view across the whole window.
+///
+/// The driver asserts, panicking with the spec's seed on violation:
+///
+/// * the pinned view re-answers every frozen range read exactly, via the streaming
+///   iterator, no matter how the writers churn (scan-while-update frozenness);
+/// * every streamed scan yields keys in strictly ascending order within its window;
+/// * after the pin drops, collection reaches quiescence and the EBR domain drains,
+///   exactly the surviving list is live (`len + 1` nodes) and on structure drop the node
+///   counters conserve (`created == retired + dropped`).
+pub fn run_skiplist(spec: &WorkloadSpec, scenario: &SkipListScenario) -> SkipListResult {
+    let camera = Camera::new();
+    let list = Arc::new(VcasSkipList::new_versioned(&camera));
+    camera.register_collectible(&list);
+    let collector = scenario.policy.install(&camera);
+    prefill(list.as_ref(), spec);
+    let key_range = spec.key_range();
+
+    // The long-pinned reader: freeze a set of range answers at the pin's timestamp.
+    let view = list.view();
+    let pinned_ts = view.timestamp();
+    let mut probe_rng = StdRng::seed_from_u64(spec.seed ^ 0xD15C_0B3D);
+    let probe_ranges: Vec<(Key, Key)> = (0..8)
+        .map(|_| {
+            let lo = probe_rng.gen_range(1..=key_range);
+            (lo, lo.saturating_add(scenario.range_width.sample(&mut probe_rng) - 1))
+        })
+        .collect();
+    let frozen: Vec<Vec<(Key, u64)>> =
+        probe_ranges.iter().map(|&(lo, hi)| view.range(lo, hi)).collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let range_queries = Arc::new(AtomicU64::new(0));
+    let range_keys = Arc::new(AtomicU64::new(0));
+    let full_scans = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..spec.threads.max(1) {
+        let list = list.clone();
+        let stop = stop.clone();
+        let total_ops = total_ops.clone();
+        let range_queries = range_queries.clone();
+        let range_keys = range_keys.clone();
+        let full_scans = full_scans.clone();
+        let seed = spec.seed + t as u64;
+        let skew = spec.skew;
+        let mix = spec.mix;
+        let scenario = *scenario;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ops = 0u64;
+            let (mut rqs, mut keys, mut scans) = (0u64, 0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                ops += 1;
+                if scenario.scan_every > 0 && ops % scenario.scan_every == 0 {
+                    // Scan-while-update: a full streaming iteration over a fresh view,
+                    // checked for strict key order.
+                    let v = list.view();
+                    let mut last = 0u64;
+                    for (k, _) in v.range_iter(0, Key::MAX) {
+                        assert!(
+                            last == 0 || k > last,
+                            "full scan yielded {k} after {last} (seed={seed:#x})"
+                        );
+                        last = k;
+                        keys += 1;
+                    }
+                    scans += 1;
+                    continue;
+                }
+                let key = skew.sample(&mut rng, key_range);
+                let pct = rng.gen_range(0..100u32);
+                if pct < mix.insert {
+                    list.insert(key, key);
+                } else if pct < mix.insert + mix.delete {
+                    list.remove(key);
+                } else if pct < mix.insert + mix.delete + mix.range {
+                    let hi = key.saturating_add(scenario.range_width.sample(&mut rng) - 1);
+                    let v = list.view();
+                    let mut last = 0u64;
+                    for (k, _) in v.range_iter(key, hi) {
+                        assert!(
+                            (key..=hi).contains(&k) && (last == 0 || k > last),
+                            "range scan [{key}, {hi}] yielded {k} after {last} (seed={seed:#x})"
+                        );
+                        last = k;
+                        keys += 1;
+                    }
+                    rqs += 1;
+                } else {
+                    let _ = list.get(key);
+                }
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+            range_queries.fetch_add(rqs, Ordering::Relaxed);
+            range_keys.fetch_add(keys, Ordering::Relaxed);
+            full_scans.fetch_add(scans, Ordering::Relaxed);
+        }));
+    }
+
+    // Re-validate the frozen range reads throughout the window, over the streaming path.
+    let checks = scenario.reader_checks.max(1);
+    for check in 0..checks {
+        std::thread::sleep(Duration::from_millis(spec.duration_ms / checks as u64));
+        assert_eq!(
+            view.timestamp(),
+            pinned_ts,
+            "check {check}: pinned view lost its timestamp (seed={:#x})",
+            spec.seed
+        );
+        for (i, &(lo, hi)) in probe_ranges.iter().enumerate() {
+            let streamed: Vec<(Key, u64)> = view.range_iter(lo, hi).collect();
+            assert_eq!(
+                streamed, frozen[i],
+                "check {check}: pinned range [{lo}, {hi}] changed under writers (seed={:#x})",
+                spec.seed
+            );
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        join_worker(h, spec);
+    }
+    let elapsed = start.elapsed();
+
+    // Pin drops; stop the background collector and sweep to quiescence.
+    drop(view);
+    drop(collector);
+    let guard = vcas_ebr::pin();
+    let sweep = camera.collect_to_quiescence(1 << 20, 64, &guard);
+    assert!(sweep.completed_cycle, "collection never reached quiescence (seed={:#x})", spec.seed);
+    let stats_after_drop = Collectible::version_stats(list.as_ref(), &guard);
+    drop(guard);
+    let pending = drain_ebr_settled();
+    assert_eq!(pending, 0, "EBR domain failed to drain at quiescence (seed={:#x})", spec.seed);
+    assert!(
+        stats_after_drop.max_versions_per_cell <= 2,
+        "version lists still unbounded after the pin dropped: {stats_after_drop:?} (seed={:#x})",
+        spec.seed
+    );
+
+    // Exactly the surviving list is live: one node per key plus the head sentinel.
+    let live_nodes_after_quiescence = camera.approx_live_nodes();
+    let expected_nodes = list.len() as u64 + 1;
+    assert_eq!(
+        live_nodes_after_quiescence, expected_nodes,
+        "live-node estimate diverged from the surviving list (seed={:#x})",
+        spec.seed
+    );
+    let nodes_retired = camera.nodes_retired();
+
+    let result = SkipListResult {
+        updates: Throughput { operations: total_ops.load(Ordering::Relaxed), elapsed },
+        range_queries: range_queries.load(Ordering::Relaxed),
+        range_keys_streamed: range_keys.load(Ordering::Relaxed),
+        full_scans: full_scans.load(Ordering::Relaxed),
+        stats_after_drop,
+        nodes_retired,
+        live_nodes_after_quiescence,
+    };
+
+    // Dropping the list must conserve every counter exactly.
+    drop(list);
+    let pending = drain_ebr_settled();
+    assert_eq!(pending, 0, "EBR domain failed to drain after drop (seed={:#x})", spec.seed);
+    assert_eq!(
+        camera.nodes_created(),
+        camera.nodes_retired() + camera.nodes_dropped(),
+        "node conservation violated after structure drop (seed={:#x})",
+        spec.seed
+    );
+    assert_eq!(
+        camera.approx_live_nodes(),
+        0,
+        "data nodes leaked past structure drop (seed={:#x})",
+        spec.seed
+    );
+    assert_eq!(
+        camera.approx_live_versions(),
+        0,
+        "version nodes leaked past structure drop (seed={:#x})",
+        spec.seed
+    );
+
+    result
+}
+
 /// Result of a `timetravel` scenario run (see [`run_timetravel`]).
 #[derive(Debug, Clone, Copy)]
 pub struct TimeTravelResult {
@@ -1091,6 +1305,51 @@ mod tests {
             assert!(
                 r.live_versions_after_quiescence >= r.live_nodes_after_quiescence / 2,
                 "{policy:?}: implausible live accounting: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skiplist_run_validates_under_every_policy() {
+        use crate::spec::{RangeWidth, SkipListScenario};
+        use vcas_core::ReclaimPolicy;
+        for policy in [
+            ReclaimPolicy::Disabled,
+            ReclaimPolicy::Amortized { every_n_updates: 64, budget: 128 },
+            ReclaimPolicy::Background { interval_ms: 2, budget: 512 },
+            ReclaimPolicy::Adaptive { initial_interval_ms: 2, budget: 512 },
+        ] {
+            // 2 concurrent writers, a hot range slot, and scan-while-update enabled.
+            let mut spec = WorkloadSpec::new(2, 150, Mix { insert: 30, delete: 20, range: 10 });
+            spec.duration_ms = 60;
+            let scenario = SkipListScenario {
+                policy,
+                reader_checks: 3,
+                range_width: RangeWidth::Uniform { min: 8, max: 64 },
+                scan_every: 256,
+            };
+            // run_skiplist asserts the frozen-range, stream-ordering, bounded-versions,
+            // and node-conservation invariants itself.
+            let r = run_skiplist(&spec, &scenario);
+            assert!(r.updates.operations > 0, "{policy:?}: no updates (seed={:#x})", spec.seed);
+            assert!(
+                r.range_queries > 0,
+                "{policy:?}: range slot never ran (seed={:#x})",
+                spec.seed
+            );
+            assert!(
+                r.range_keys_streamed > 0,
+                "{policy:?}: streaming scans yielded nothing (seed={:#x})",
+                spec.seed
+            );
+            assert!(r.full_scans > 0, "{policy:?}: no full scans (seed={:#x})", spec.seed);
+            assert!(r.stats_after_drop.max_versions_per_cell <= 2, "{policy:?}");
+            // Churn strands unlinked towers behind version pointers; truncating those
+            // pointers must retire them.
+            assert!(
+                r.nodes_retired > 0,
+                "{policy:?}: no data nodes retired (seed={:#x})",
+                spec.seed
             );
         }
     }

@@ -25,6 +25,12 @@
 //!   ([`vcas_core::ReclaimPolicy`]), plus one long-pinned reader — the driver asserts the
 //!   pinned view stays frozen and that version lists are bounded once the pin drops
 //!   ([`ReclaimScenario`]);
+//! * the `skiplist` scenario ([`run_skiplist`]): mixed writers against a versioned
+//!   [`vcas_structures::VcasSkipList`] whose range slot issues **streaming** range scans
+//!   with configurable width distribution ([`SkipListScenario`], [`RangeWidth`]) and
+//!   optional scan-while-update full iterations, plus one long-pinned reader — the driver
+//!   asserts frozen range reads under concurrent writers and exact node conservation
+//!   (`created == retired + dropped`) after the structure drops;
 //! * the `timetravel` scenario ([`run_timetravel`]): writers advance history while the
 //!   driver holds a ladder of named [`vcas_core::Anchor`]s and keeps issuing as-of,
 //!   temporal-diff, or cached historical queries against them ([`TimeTravelScenario`]) —
@@ -41,10 +47,11 @@ pub mod driver;
 pub mod spec;
 
 pub use driver::{
-    run_composed, run_dedicated, run_hashmap, run_mixed, run_reclaim, run_sorted_insert,
-    run_timetravel, ComposedResult, DedicatedResult, ReclaimResult, Throughput, TimeTravelResult,
+    run_composed, run_dedicated, run_hashmap, run_mixed, run_reclaim, run_skiplist,
+    run_sorted_insert, run_timetravel, ComposedResult, DedicatedResult, ReclaimResult,
+    SkipListResult, Throughput, TimeTravelResult,
 };
 pub use spec::{
-    ComposedScenario, HashMapScenario, KeySkew, Mix, ReclaimScenario, TimeTravelMode,
-    TimeTravelScenario, WorkloadSpec,
+    ComposedScenario, HashMapScenario, KeySkew, Mix, RangeWidth, ReclaimScenario, SkipListScenario,
+    TimeTravelMode, TimeTravelScenario, WorkloadSpec,
 };

@@ -99,6 +99,73 @@ impl Default for ReclaimScenario {
     }
 }
 
+/// Distribution of range-query widths (number of keys spanned) used by the range slot of
+/// the `skiplist` scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeWidth {
+    /// Every range query spans exactly this many keys.
+    Fixed(u64),
+    /// Widths drawn uniformly from `[min, max]` per query.
+    Uniform {
+        /// Smallest width drawn (clamped to at least 1).
+        min: u64,
+        /// Largest width drawn (clamped to at least `min`).
+        max: u64,
+    },
+}
+
+impl RangeWidth {
+    /// Draws one range width (at least 1) under this distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            RangeWidth::Fixed(w) => w.max(1),
+            RangeWidth::Uniform { min, max } => {
+                let lo = min.max(1);
+                rng.gen_range(lo..=max.max(lo))
+            }
+        }
+    }
+
+    /// Compact label, e.g. `w64` or `w16-256`.
+    pub fn label(&self) -> String {
+        match self {
+            RangeWidth::Fixed(w) => format!("w{w}"),
+            RangeWidth::Uniform { min, max } => format!("w{min}-{max}"),
+        }
+    }
+}
+
+/// Parameters of the `skiplist` workload scenario (see `driver::run_skiplist`): mixed
+/// writers (the spec's insert/delete/find percentages) hammer a versioned skip list with
+/// automatic reclamation installed, and the mix's **range slot** issues streaming range
+/// scans (`range_iter`) whose widths are drawn from a configurable distribution —
+/// optionally interleaved with full scan-while-update iterations. One long-pinned reader
+/// (the driver thread) freezes a set of range answers at the window's start and
+/// re-validates them throughout; teardown asserts exact node conservation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkipListScenario {
+    /// How reclamation is driven during the timed window.
+    pub policy: vcas_core::ReclaimPolicy,
+    /// How many times the pinned reader re-validates its frozen range answers.
+    pub reader_checks: u32,
+    /// Distribution the range slot draws each query's width from.
+    pub range_width: RangeWidth,
+    /// Every `scan_every`-th operation of a worker is a full streaming scan of the list
+    /// (scan-while-update); `0` disables full scans.
+    pub scan_every: u64,
+}
+
+impl Default for SkipListScenario {
+    fn default() -> Self {
+        SkipListScenario {
+            policy: vcas_core::ReclaimPolicy::Amortized { every_n_updates: 128, budget: 64 },
+            reader_checks: 8,
+            range_width: RangeWidth::Uniform { min: 16, max: 256 },
+            scan_every: 512,
+        }
+    }
+}
+
 /// Which flavor of time-travel queries the readers of the `timetravel` scenario issue
 /// (see `driver::run_timetravel`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

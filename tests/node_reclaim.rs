@@ -24,7 +24,7 @@ use proptest::prelude::*;
 use vcas_repro::core::reclaim::Collectible;
 use vcas_repro::core::{Camera, VersionedCas};
 use vcas_repro::structures::traits::ConcurrentMap;
-use vcas_repro::structures::{HarrisList, Nbbst, VcasHashMap};
+use vcas_repro::structures::{HarrisList, Nbbst, VcasHashMap, VcasSkipList};
 
 const WRITERS: u64 = 2;
 const OPS_PER_WRITER: u64 = 4_000;
@@ -134,6 +134,13 @@ fn vcas_hashmap_conserves_nodes_under_churn_truncation_and_drop() {
     let camera = Camera::new();
     let map = Arc::new(VcasHashMap::new_versioned(&camera, 16));
     assert_node_conservation(camera, map, "VcasHashMap");
+}
+
+#[test]
+fn vcas_skiplist_conserves_nodes_under_churn_truncation_and_drop() {
+    let camera = Camera::new();
+    let list = Arc::new(VcasSkipList::new_versioned(&camera));
+    assert_node_conservation(camera, list, "VcasSkipList");
 }
 
 /// The structural half of the tentpole's second leak: with a pin holding `min_active`
