@@ -1,0 +1,357 @@
+//! The lint rules (see the crate docs for the list) and their driver, [`run`].
+
+use crate::strip::{classify, count_word, Line};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The allowlist total may never reach the pre-ratchet baseline again (the workspace had
+/// 198 undocumented `unsafe` sites when the ratchet was introduced).
+pub const ALLOWLIST_CEILING: usize = 197;
+
+/// Crates that must have **zero** undocumented `unsafe` (no allowlist entries).
+const ZERO_ALLOWLIST_PREFIXES: &[&str] =
+    &["crates/core/", "crates/ebr/", "crates/sync/", "crates/analysis/"];
+
+/// Files in which every `Ordering::Relaxed` must carry an `// ORDERING:` justification.
+const PROTOCOL_FILES: &[&str] = &[
+    "crates/core/src/versioned.rs",
+    "crates/core/src/versioned_ptr.rs",
+    "crates/core/src/camera.rs",
+    "crates/core/src/reclaim.rs",
+];
+const PROTOCOL_PREFIX: &str = "crates/ebr/src/";
+
+/// Directory prefixes whose files must route all synchronization through `vcas_sync`.
+const FACADE_ONLY_PREFIXES: &[&str] = &["crates/core/src/", "crates/ebr/src/"];
+const FORBIDDEN_IMPORTS: &[&str] = &["std::sync::atomic", "core::sync::atomic", "parking_lot"];
+
+/// Runs all rules against the workspace at `root`. `Ok` carries a human-readable
+/// summary, `Err` the full list of findings.
+pub fn run(root: &Path) -> Result<String, String> {
+    let files = collect_files(root);
+    if files.is_empty() {
+        return Err(format!("no .rs files found under {} — wrong --root?", root.display()));
+    }
+    let allowlist = load_allowlist(root)?;
+    let ledger = std::fs::read_to_string(root.join("docs/memory_orderings.md")).ok();
+
+    let mut findings: Vec<String> = Vec::new();
+    let mut undocumented: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut unsafe_sites = 0usize;
+    let mut relaxed_sites = 0usize;
+    let mut labels_used: BTreeSet<String> = BTreeSet::new();
+
+    for rel in &files {
+        let source = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                findings.push(format!("{rel}: unreadable: {e}"));
+                continue;
+            }
+        };
+        let lines = classify(&source);
+
+        // Rule 1: unsafe sites must be documented (or allowlisted).
+        for (i, line) in lines.iter().enumerate() {
+            let n = count_word(&line.code, "unsafe");
+            if n == 0 {
+                continue;
+            }
+            unsafe_sites += n;
+            if !documented(&lines, i, &["SAFETY:", "# Safety"]) {
+                undocumented
+                    .entry(rel.clone())
+                    .or_default()
+                    .extend(std::iter::repeat(i + 1).take(n));
+            }
+        }
+
+        // Rule 2: Ordering::Relaxed in protocol files needs an ORDERING: label that the
+        // ledger knows about.
+        if is_protocol_file(rel) {
+            for (i, line) in lines.iter().enumerate() {
+                let n = line.code.matches("Ordering::Relaxed").count();
+                if n == 0 {
+                    continue;
+                }
+                relaxed_sites += n;
+                match ordering_label(&lines, i) {
+                    None => findings.push(format!(
+                        "{rel}:{}: `Ordering::Relaxed` without an `// ORDERING: <label>` \
+                         justification (same line or comment block above)",
+                        i + 1
+                    )),
+                    Some(label) => {
+                        labels_used.insert(label.clone());
+                        match &ledger {
+                            None => findings.push(format!(
+                                "{rel}:{}: ORDERING label `{label}` but docs/memory_orderings.md \
+                                 is missing",
+                                i + 1
+                            )),
+                            Some(text) if !text.contains(&format!("`{label}`")) => {
+                                findings.push(format!(
+                                    "{rel}:{}: ORDERING label `{label}` is not listed (backticked) \
+                                     in docs/memory_orderings.md",
+                                    i + 1
+                                ))
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rule 3: core/ebr must go through the vcas_sync facade.
+        if FACADE_ONLY_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            for (i, line) in lines.iter().enumerate() {
+                for forbidden in FORBIDDEN_IMPORTS {
+                    if line.code.contains(forbidden) {
+                        findings.push(format!(
+                            "{rel}:{}: direct `{forbidden}` use — import it via the `vcas_sync` \
+                             facade (`crate::sync`) so the model checker can intercept it",
+                            i + 1
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Reconcile undocumented counts with the allowlist (exact match = ratchet).
+    let mut allowlisted_total = 0usize;
+    let mut seen: BTreeSet<&String> = BTreeSet::new();
+    for (rel, sites) in &undocumented {
+        seen.insert(rel);
+        if ZERO_ALLOWLIST_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            findings.push(format!(
+                "{rel}: {} undocumented `unsafe` site(s) at line(s) {:?} — this crate requires a \
+                 `// SAFETY:` comment on every one (no allowlist)",
+                sites.len(),
+                sites
+            ));
+            continue;
+        }
+        let allowed = allowlist.get(rel).copied().unwrap_or(0);
+        allowlisted_total += sites.len().min(allowed);
+        match sites.len().cmp(&allowed) {
+            std::cmp::Ordering::Greater => findings.push(format!(
+                "{rel}: {} undocumented `unsafe` site(s), allowlist permits {} — document the new \
+                 site(s) (lines {:?}) rather than growing the allowlist",
+                sites.len(),
+                allowed,
+                sites
+            )),
+            std::cmp::Ordering::Less => findings.push(format!(
+                "{rel}: only {} undocumented `unsafe` site(s) remain but the allowlist still says \
+                 {} — ratchet crates/analysis/unsafe_allowlist.txt down",
+                sites.len(),
+                allowed
+            )),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    for (rel, &allowed) in &allowlist {
+        if allowed > 0 && !seen.contains(rel) {
+            findings.push(format!(
+                "{rel}: allowlist still records {allowed} undocumented `unsafe` site(s) but the \
+                 file has none — ratchet crates/analysis/unsafe_allowlist.txt down"
+            ));
+        }
+    }
+    let allowlist_total: usize = allowlist.values().sum();
+    if allowlist_total > ALLOWLIST_CEILING {
+        findings.push(format!(
+            "allowlist total {allowlist_total} exceeds the ratchet ceiling {ALLOWLIST_CEILING}"
+        ));
+    }
+
+    if findings.is_empty() {
+        let mut s = String::new();
+        let _ = writeln!(s, "vcas-analysis lint: OK");
+        let _ = writeln!(s, "  files scanned:        {}", files.len());
+        let _ = writeln!(
+            s,
+            "  unsafe sites:         {unsafe_sites} ({allowlisted_total} allowlisted, rest documented)"
+        );
+        let _ =
+            writeln!(s, "  allowlist total:      {allowlist_total} (ceiling {ALLOWLIST_CEILING})");
+        let _ = writeln!(s, "  relaxed sites:        {relaxed_sites} (all ledgered)");
+        let _ = write!(s, "  ordering labels used: {}", labels_used.len());
+        Ok(s)
+    } else {
+        let mut s = format!("vcas-analysis lint: {} finding(s)\n", findings.len());
+        for f in &findings {
+            let _ = writeln!(s, "  - {f}");
+        }
+        Err(s)
+    }
+}
+
+fn is_protocol_file(rel: &str) -> bool {
+    PROTOCOL_FILES.contains(&rel) || rel.starts_with(PROTOCOL_PREFIX)
+}
+
+/// True when line `i` carries one of `markers` in its own comment or in the contiguous
+/// comment/attribute block immediately above it.
+fn documented(lines: &[Line], i: usize, markers: &[&str]) -> bool {
+    let has = |l: &Line| markers.iter().any(|m| l.comment.contains(m));
+    if has(&lines[i]) {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        if l.is_code_free() && !l.comment.trim().is_empty() {
+            if has(l) {
+                return true;
+            }
+        } else if l.is_attribute_only() {
+            continue;
+        } else {
+            break; // blank line or real code ends the block
+        }
+    }
+    false
+}
+
+/// Extracts the `// ORDERING: <label>` label covering line `i` (same line or the comment
+/// block above).
+fn ordering_label(lines: &[Line], i: usize) -> Option<String> {
+    if let Some(l) = extract_label(&lines[i].comment) {
+        return Some(l);
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        if l.is_code_free() && !l.comment.trim().is_empty() {
+            if let Some(lab) = extract_label(&l.comment) {
+                return Some(lab);
+            }
+        } else if l.is_attribute_only() {
+            continue;
+        } else {
+            break;
+        }
+    }
+    None
+}
+
+fn extract_label(comment: &str) -> Option<String> {
+    let pos = comment.find("ORDERING:")?;
+    let rest = comment[pos + "ORDERING:".len()..].trim_start();
+    let token: String = rest.chars().take_while(|c| !c.is_whitespace()).collect();
+    let token = token.trim_end_matches([':', ',', '.', ';']).to_string();
+    if token.is_empty() {
+        None
+    } else {
+        Some(token)
+    }
+}
+
+fn load_allowlist(root: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let path = root.join("crates/analysis/unsafe_allowlist.txt");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut map = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (file, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("allowlist line {}: expected `<path> <count>`", lineno + 1))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count `{count}`", lineno + 1))?;
+        map.insert(file.trim().to_string(), count);
+    }
+    Ok(map)
+}
+
+/// All workspace `.rs` files in scope, as `/`-separated paths relative to `root`.
+/// Vendored shims are deliberately out of scope.
+fn collect_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for e in entries.flatten() {
+            let src = e.path().join("src");
+            walk(&src, root, &mut out);
+            let tests = e.path().join("tests");
+            walk(&tests, root, &mut out);
+        }
+    }
+    for top in ["src", "tests", "examples"] {
+        walk(&root.join(top), root, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, root, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            if let Ok(rel) = p.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// Relative path of a [`PathBuf`] under the workspace root, for tests.
+pub fn relative(root: &Path, p: &Path) -> Option<PathBuf> {
+    p.strip_prefix(root).ok().map(Path::to_path_buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::classify;
+
+    #[test]
+    fn documented_accepts_same_line_and_block_above() {
+        let lines = classify(
+            "// SAFETY: fine\nunsafe { a() };\nlet x = 1;\nunsafe { b() }; // SAFETY: inline\nunsafe { c() };",
+        );
+        assert!(documented(&lines, 1, &["SAFETY:"]));
+        assert!(documented(&lines, 3, &["SAFETY:"]));
+        assert!(!documented(&lines, 4, &["SAFETY:"]));
+    }
+
+    #[test]
+    fn documented_skips_attributes_and_accepts_safety_sections() {
+        let lines = classify(
+            "/// Does things.\n///\n/// # Safety\n/// Caller checks.\n#[inline]\npub unsafe fn f() {}",
+        );
+        assert!(documented(&lines, 5, &["SAFETY:", "# Safety"]));
+    }
+
+    #[test]
+    fn blank_line_breaks_the_comment_block() {
+        let lines = classify("// SAFETY: stale\n\nunsafe { a() };");
+        assert!(!documented(&lines, 2, &["SAFETY:"]));
+    }
+
+    #[test]
+    fn ordering_labels_are_extracted() {
+        let lines = classify(
+            "// ORDERING: diag-counter — monitoring only\nx.fetch_add(1, Ordering::Relaxed);",
+        );
+        assert_eq!(ordering_label(&lines, 1).as_deref(), Some("diag-counter"));
+        let inline = classify("x.load(Ordering::Relaxed) // ORDERING: cursor: rotation hint");
+        assert_eq!(ordering_label(&inline, 0).as_deref(), Some("cursor"));
+        let none = classify("x.load(Ordering::Relaxed);");
+        assert_eq!(ordering_label(&none, 0), None);
+    }
+}

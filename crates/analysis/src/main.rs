@@ -1,0 +1,43 @@
+//! CLI entry point: `cargo run -p vcas-analysis -- lint [--root <path>]`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = args.get(i).cloned();
+            }
+            c if cmd.is_none() => cmd = Some(c.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    match cmd.as_deref() {
+        Some("lint") => {
+            let root = root.map(std::path::PathBuf::from).unwrap_or_else(vcas_analysis::repo_root);
+            match vcas_analysis::lint::run(&root) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(failures) => {
+                    eprintln!("{failures}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: vcas-analysis lint [--root <workspace root>]");
+            ExitCode::FAILURE
+        }
+    }
+}

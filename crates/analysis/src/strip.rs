@@ -1,0 +1,269 @@
+//! Comment/string classification of Rust source, line by line.
+//!
+//! A tiny state machine — not a parser — that is nevertheless exact for the subset of
+//! Rust this workspace uses: line (`//`, `///`, `//!`) and nested block comments,
+//! ordinary/byte/raw strings, char literals vs. lifetimes. The output splits every line
+//! into the text that is *code* (string contents elided) and the text that is *comment*,
+//! which is all the lint rules need: tokens like `unsafe` are only counted in code, and
+//! markers like `SAFETY:` are only honored in comments.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Non-comment text with string/char-literal contents removed.
+    pub code: String,
+    /// Concatenated comment text (line and block comments alike).
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line contains no code tokens at all (blank or comment-only).
+    pub fn is_code_free(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// True when the line's code consists solely of an attribute (`#[...]` / `#![...]`),
+    /// which may sit between a doc/SAFETY comment and the item it documents.
+    pub fn is_attribute_only(&self) -> bool {
+        let t = self.code.trim();
+        !t.is_empty() && t.starts_with('#') && t.ends_with(']')
+    }
+}
+
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Splits `source` into per-line code/comment parts.
+pub fn classify(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        // Raw-string openers are handled below at the `r`; a bare quote
+                        // starts an ordinary (possibly byte) string.
+                        cur.code.push('"');
+                        state = State::Str;
+                    }
+                    'r' if !prev_is_ident(&chars, i) && is_raw_string_opener(&chars, i) => {
+                        let hashes = count_hashes(&chars, i + 1);
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        i += 1 + hashes as usize + 1; // r, hashes, opening quote
+                        continue;
+                    }
+                    '\'' => {
+                        // Distinguish a char literal from a lifetime: a char literal is
+                        // `'x'` or `'\...'`; a lifetime is `'ident` with no closing quote.
+                        if next == Some('\\') || chars.get(i + 2).copied() == Some('\'') {
+                            cur.code.push('\'');
+                            state = State::Char;
+                        } else {
+                            cur.code.push('\'');
+                        }
+                    }
+                    _ => cur.code.push(c),
+                }
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped character (covers \" and \\)
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && hashes_follow(&chars, i + 1, hashes) {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// At `chars[i] == 'r'` (or the `r` of `br`): does `r#*"` follow?
+fn is_raw_string_opener(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while chars.get(j).copied() == Some('#') {
+        j += 1;
+    }
+    chars.get(j).copied() == Some('"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i).copied() == Some('#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn hashes_follow(chars: &[char], mut i: usize, hashes: u32) -> bool {
+    for _ in 0..hashes {
+        if chars.get(i).copied() != Some('#') {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Counts word-boundary occurrences of `word` in `text`.
+pub fn count_word(text: &str, word: &str) -> usize {
+    let bytes = text.as_bytes();
+    let mut count = 0;
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            count += 1;
+        }
+        start = at + word.len().max(1);
+    }
+    count
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let src = r#"let x = "unsafe"; // SAFETY: not really
+unsafe { go() } /* unsafe in block comment */
+let s = 'g';
+let lt: &'static str = "";
+"#;
+        let lines = classify(src);
+        assert_eq!(count_word(&lines[0].code, "unsafe"), 0);
+        assert!(lines[0].comment.contains("SAFETY:"));
+        assert_eq!(count_word(&lines[1].code, "unsafe"), 1);
+        assert!(lines[1].comment.contains("unsafe in block comment"));
+        assert_eq!(count_word(&lines[2].code, "unsafe"), 0);
+        assert!(lines[3].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still comment */ b";
+        let lines = classify(src);
+        assert_eq!(lines[0].code.trim().replace("  ", " "), "a b");
+        assert!(lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn raw_strings_are_elided() {
+        let src = "let x = r#\"unsafe Ordering::Relaxed\"#; unsafe {}";
+        let lines = classify(src);
+        assert_eq!(count_word(&lines[0].code, "unsafe"), 1);
+        assert!(!lines[0].code.contains("Relaxed"));
+    }
+
+    #[test]
+    fn multiline_strings_do_not_leak_code() {
+        let src = "let x = \"line one\nunsafe line two\";\nunsafe {}";
+        let lines = classify(src);
+        assert_eq!(count_word(&lines[1].code, "unsafe"), 0);
+        assert_eq!(count_word(&lines[2].code, "unsafe"), 1);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert_eq!(count_word("unsafe_op_in_unsafe_fn", "unsafe"), 0);
+        assert_eq!(count_word("unsafe fn f() { unsafe {} }", "unsafe"), 2);
+    }
+
+    #[test]
+    fn attribute_detection() {
+        let lines = classify("#[allow(dead_code)]\n#![warn(missing_docs)]\nfn f() {}");
+        assert!(lines[0].is_attribute_only());
+        assert!(lines[1].is_attribute_only());
+        assert!(!lines[2].is_attribute_only());
+    }
+}

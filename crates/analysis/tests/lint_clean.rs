@@ -1,0 +1,11 @@
+//! The lint pass must be clean on the repository itself — run as part of plain
+//! `cargo test`, so the SAFETY/ORDERING ratchet is enforced even where CI is not.
+
+#[test]
+fn repository_passes_the_concurrency_lint() {
+    let root = vcas_analysis::repo_root();
+    match vcas_analysis::lint::run(&root) {
+        Ok(summary) => println!("{summary}"),
+        Err(report) => panic!("vcas-analysis lint failed:\n{report}"),
+    }
+}

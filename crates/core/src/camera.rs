@@ -1,11 +1,11 @@
 //! The [`Camera`] object: a global timestamp plus a registry of pinned snapshots.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
 use vcas_ebr::Guard;
+
+use crate::sync::{AtomicU64, Mutex, Ordering};
 
 use crate::reclaim::{CollectStats, Collectible, ReclaimState};
 use crate::retention::{Anchor, RetentionError, RetentionPolicy};
@@ -62,6 +62,7 @@ impl Camera {
     /// Takes a snapshot of every versioned CAS object associated with this camera and returns
     /// a handle to it, in a constant number of steps (Algorithm 1, `takeSnapshot`).
     pub fn take_snapshot(&self) -> SnapshotHandle {
+        // ORDERING: diag-counter — monitoring only; no other data is published under it.
         self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
         let ts = self.timestamp.load(Ordering::SeqCst);
         // If this CAS fails another takeSnapshot has already incremented the counter, which
@@ -256,6 +257,7 @@ impl Camera {
 
     /// Total number of `take_snapshot` calls made on this camera (diagnostic).
     pub fn snapshots_taken(&self) -> u64 {
+        // ORDERING: diag-counter — monitoring only.
         self.snapshots_taken.load(Ordering::Relaxed)
     }
 

@@ -12,10 +12,11 @@
 //! [`DirectVersionedPtr`] then provides the same `vRead` / `vCAS` / `readSnapshot` interface
 //! as [`crate::VersionedPtr`], operating directly on the nodes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vcas_ebr::{Atomic, Guard, Shared};
+
+use crate::sync::{AtomicU64, Ordering};
 
 use crate::camera::Camera;
 use crate::snapshot::SnapshotHandle;
@@ -79,12 +80,16 @@ pub struct DirectVersionedPtr<N: VersionedNode> {
     camera: Arc<Camera>,
 }
 
+// SAFETY: the pointer is a single atomic word plus an `Arc<Camera>`; moving it between
+// threads is safe whenever the node type itself is `Send + Sync`.
 unsafe impl<N: VersionedNode + Send + Sync> Send for DirectVersionedPtr<N> {}
+// SAFETY: all shared access goes through atomics under epoch guards.
 unsafe impl<N: VersionedNode + Send + Sync> Sync for DirectVersionedPtr<N> {}
 
 impl<N: VersionedNode> DirectVersionedPtr<N> {
     /// Creates a direct versioned pointer whose initial value is `initial` (may be null).
     pub fn new(initial: Shared<'_, N>, camera: &Arc<Camera>) -> Self {
+        // SAFETY: the caller's guard (which produced `initial`) keeps the node alive.
         if let Some(node) = unsafe { initial.as_ref() } {
             let info = node.version();
             // The constructor runs before any concurrent access: plain initialization.
@@ -116,6 +121,7 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
     /// `vRead`: the current node pointer. Constant time.
     pub fn load<'g>(&self, guard: &'g Guard) -> Shared<'g, N> {
         let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: `guard` pins the epoch, so the loaded node is alive.
         if let Some(node) = unsafe { head.as_ref() } {
             self.init_ts(node);
         }
@@ -126,9 +132,11 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
     pub fn load_snapshot<'g>(&self, handle: SnapshotHandle, guard: &'g Guard) -> Shared<'g, N> {
         let ts = handle.raw();
         let mut cur = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: `guard` pins the epoch, so the loaded node is alive.
         if let Some(node) = unsafe { cur.as_ref() } {
             self.init_ts(node);
         }
+        // SAFETY: embedded version links are epoch-protected while `guard` is live.
         while let Some(node) = unsafe { cur.as_ref() } {
             if node.version().ts.load(Ordering::SeqCst) <= ts {
                 break;
@@ -148,6 +156,7 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
         guard: &Guard,
     ) -> bool {
         let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: `guard` pins the epoch, so the loaded node is alive.
         if let Some(node) = unsafe { head.as_ref() } {
             self.init_ts(node);
         }
@@ -160,6 +169,7 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
         // Record the previous version inside the new node before publishing it. Because the
         // node is recorded once, this link is written at most once (retries write the same
         // value), so a CAS from the `invalid` sentinel suffices.
+        // SAFETY: the caller's guard (which produced `new`) keeps the node alive.
         if let Some(new_node) = unsafe { new.as_ref() } {
             let invalid = Shared::null().with_tag(INVALID_NEXT_TAG);
             let _ = new_node.version().nextv.compare_exchange(
@@ -172,6 +182,7 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
         }
         match self.head.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst, guard) {
             Ok(_) => {
+                // SAFETY: `new` was just published and remains epoch-protected.
                 if let Some(new_node) = unsafe { new.as_ref() } {
                     self.init_ts(new_node);
                 }
@@ -179,6 +190,7 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
             }
             Err(_) => {
                 let now = self.head.load(Ordering::SeqCst, guard);
+                // SAFETY: `guard` pins the epoch, so the loaded node is alive.
                 if let Some(node) = unsafe { now.as_ref() } {
                     self.init_ts(node);
                 }
@@ -191,6 +203,7 @@ impl<N: VersionedNode> DirectVersionedPtr<N> {
     pub fn version_count(&self, guard: &Guard) -> usize {
         let mut count = 0;
         let mut cur = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: embedded version links are epoch-protected while `guard` is live.
         while let Some(node) = unsafe { cur.as_ref() } {
             count += 1;
             let next = node.version().nextv.load(Ordering::SeqCst, guard);
@@ -243,11 +256,15 @@ mod tests {
         let c = Node::new(3).into_shared(&g);
         assert!(ptr.compare_exchange(b, c, &g));
 
+        // SAFETY: a, b, c stay alive until the explicit drops below.
         assert_eq!(unsafe { ptr.load(&g).deref() }.key, 3);
+        // SAFETY: as above.
         assert_eq!(unsafe { ptr.load_snapshot(h0, &g).deref() }.key, 1);
+        // SAFETY: as above.
         assert_eq!(unsafe { ptr.load_snapshot(h1, &g).deref() }.key, 2);
         assert_eq!(ptr.version_count(&g), 3);
 
+        // SAFETY: the test owns all three nodes and frees each once.
         unsafe {
             drop(a.into_owned());
             drop(b.into_owned());
@@ -266,7 +283,9 @@ mod tests {
         assert!(ptr.compare_exchange(a, b, &g));
         // Expecting `a` now fails because the head is `b`.
         assert!(!ptr.compare_exchange(a, c, &g));
+        // SAFETY: `b` stays alive until the explicit drop below.
         assert_eq!(unsafe { ptr.load(&g).deref() }.key, 2);
+        // SAFETY: the test owns all three nodes and frees each once.
         unsafe {
             drop(a.into_owned());
             drop(b.into_owned());
@@ -284,7 +303,9 @@ mod tests {
         let a = Node::new(9).into_shared(&g);
         assert!(ptr.compare_exchange(Shared::null(), a, &g));
         assert!(ptr.load_snapshot(h, &g).is_null());
+        // SAFETY: `a` stays alive until the explicit drop below.
         assert_eq!(unsafe { ptr.load(&g).deref() }.key, 9);
+        // SAFETY: the test owns the node and frees it once.
         unsafe { drop(a.into_owned()) };
     }
 }

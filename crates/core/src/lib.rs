@@ -68,6 +68,10 @@
 
 #![warn(missing_docs)]
 
+/// Synchronization facade (`vcas-sync`): std atomics normally, the deterministic model
+/// checker's instrumented types under `--cfg vcas_model`.
+pub use vcas_sync as sync;
+
 pub mod camera;
 pub mod direct;
 pub mod group;

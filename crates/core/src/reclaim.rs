@@ -29,12 +29,12 @@
 //!
 //! See `docs/reclamation.md` for the policy trade-offs and the memory model of truncation.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use vcas_ebr::Guard;
+
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use crate::camera::Camera;
 
@@ -275,55 +275,70 @@ impl ReclaimState {
     }
 
     pub(crate) fn note_nodes_created(&self, n: u64) {
+        // ORDERING: diag-counter — monitoring totals; approximate reads are documented.
         self.nodes_created.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn note_nodes_retired(&self, n: u64) {
+        // ORDERING: diag-counter — as above.
         self.nodes_retired.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn note_nodes_dropped(&self, n: u64) {
+        // ORDERING: diag-counter — as above.
         self.nodes_dropped.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn nodes_created(&self) -> u64 {
+        // ORDERING: diag-counter — as above.
         self.nodes_created.load(Ordering::Relaxed)
     }
 
     pub(crate) fn nodes_retired(&self) -> u64 {
+        // ORDERING: diag-counter — as above.
         self.nodes_retired.load(Ordering::Relaxed)
     }
 
     pub(crate) fn nodes_dropped(&self) -> u64 {
+        // ORDERING: diag-counter — as above.
         self.nodes_dropped.load(Ordering::Relaxed)
     }
 
     pub(crate) fn note_created(&self, n: u64) {
+        // ORDERING: diag-counter — as above.
         self.created.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn note_retired(&self, n: u64) {
+        // ORDERING: diag-counter — as above.
         self.retired.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn note_dropped(&self, n: u64) {
+        // ORDERING: diag-counter — as above.
         self.dropped.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn created(&self) -> u64 {
+        // ORDERING: diag-counter — as above.
         self.created.load(Ordering::Relaxed)
     }
 
     pub(crate) fn retired(&self) -> u64 {
+        // ORDERING: diag-counter — as above.
         self.retired.load(Ordering::Relaxed)
     }
 
     pub(crate) fn dropped(&self) -> u64 {
+        // ORDERING: diag-counter — as above.
         self.dropped.load(Ordering::Relaxed)
     }
 
     pub(crate) fn set_amortized(&self, every_n: u64, budget: usize) {
+        // ORDERING: policy-knob — independent configuration cells read by later ticks;
+        // a tick that races an install may use the old policy for one slice, harmlessly.
         self.every_n.store(every_n, Ordering::Relaxed);
+        // ORDERING: policy-knob — as above.
         self.budget.store(budget, Ordering::Relaxed);
     }
 
@@ -345,11 +360,15 @@ impl ReclaimState {
 
     /// Should this tick trigger a collection slice, and with what budget?
     pub(crate) fn tick(&self) -> Option<usize> {
+        // ORDERING: policy-knob — see `set_amortized`.
         let every_n = self.every_n.load(Ordering::Relaxed);
         if every_n == 0 {
             return None;
         }
+        // ORDERING: progress-heuristic — the tick counter only decides *when* to collect;
+        // collection itself synchronizes through the registry lock and per-cell flags.
         let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        // ORDERING: policy-knob — see `set_amortized`.
         (tick % every_n == 0).then(|| self.budget.load(Ordering::Relaxed))
     }
 
@@ -409,6 +428,8 @@ impl ReclaimState {
         {
             Some((idx, _)) => idx,
             // Nothing owes anything (or caches are dry): plain round-robin.
+            // ORDERING: progress-heuristic — any interleaving of cursor bumps yields a
+            // valid rotation; fairness, not correctness, is at stake.
             None => self.cursor.fetch_add(1, Ordering::Relaxed) % registry.entries.len(),
         };
         let entry = &registry.entries[idx];
@@ -532,6 +553,8 @@ impl Collector {
             .name("vcas-collector".to_string())
             .spawn(move || {
                 let mut last_live = camera.approx_live_versions();
+                // ORDERING: stop-flag — the collector only needs to observe the flag
+                // eventually; `stop()` joins the thread, which synchronizes the exit.
                 while !stop_flag.load(Ordering::Relaxed) {
                     {
                         let guard = vcas_ebr::pin();
@@ -540,6 +563,8 @@ impl Collector {
                     // Push the retired version nodes through the epoch machinery so memory
                     // is actually returned, not just unlinked.
                     vcas_ebr::flush();
+                    // ORDERING: diag-counter — the interval cell is a tuning/observability
+                    // value; no other data is published under it.
                     let mut cur = interval_shared.load(Ordering::Relaxed);
                     if adaptive {
                         let live = camera.approx_live_versions();
@@ -548,6 +573,7 @@ impl Collector {
                         } else if live < last_live {
                             cur = (cur * 2).min(max_interval_ms);
                         }
+                        // ORDERING: diag-counter — as above.
                         interval_shared.store(cur, Ordering::Relaxed);
                         last_live = live;
                     }
@@ -555,6 +581,7 @@ impl Collector {
                     let interval = Duration::from_millis(cur);
                     let step = Duration::from_millis(2).min(interval);
                     let mut slept = Duration::ZERO;
+                    // ORDERING: stop-flag — as above.
                     while slept < interval && !stop_flag.load(Ordering::Relaxed) {
                         std::thread::sleep(step);
                         slept += step;
@@ -568,6 +595,7 @@ impl Collector {
     /// The collector's current sweep interval in milliseconds — constant for
     /// [`Collector::start`], live-tuned for [`Collector::start_adaptive`].
     pub fn current_interval_ms(&self) -> u64 {
+        // ORDERING: diag-counter — observability read of the tuned interval.
         self.interval_ms.load(Ordering::Relaxed)
     }
 
@@ -578,10 +606,12 @@ impl Collector {
 
     /// Is the collector thread still running?
     pub fn is_running(&self) -> bool {
+        // ORDERING: stop-flag — see the collector loop.
         self.handle.is_some() && !self.stop.load(Ordering::Relaxed)
     }
 
     fn shutdown(&mut self) {
+        // ORDERING: stop-flag — the join below synchronizes with the thread's exit.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
             if handle.join().is_err() {
@@ -640,17 +670,17 @@ mod tests {
     impl Collectible for Cells {
         fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats {
             let mut stats = CollectStats::default();
-            let start = self.cursor.load(Ordering::Relaxed);
+            let start = self.cursor.load(Ordering::SeqCst);
             let end = (start + budget.max(1)).min(self.cells.len());
             for cell in &self.cells[start..end] {
                 stats.versions_retired += cell.collect_before(min_active, guard);
                 stats.cells_visited += 1;
             }
             if end == self.cells.len() {
-                self.cursor.store(0, Ordering::Relaxed);
+                self.cursor.store(0, Ordering::SeqCst);
                 stats.completed_cycle = true;
             } else {
-                self.cursor.store(end, Ordering::Relaxed);
+                self.cursor.store(end, Ordering::SeqCst);
             }
             stats
         }
@@ -699,10 +729,10 @@ mod tests {
         cells.churn(5, &guard);
         // Clean only the tail (cells 6..8), then park the cursor back there — the state an
         // amortized driver leaves behind mid-sweep: dirty prefix, clean tail, cursor high.
-        cells.cursor.store(6, Ordering::Relaxed);
+        cells.cursor.store(6, Ordering::SeqCst);
         let tail = cells.collect_bounded(camera.min_active(), 64, &guard);
         assert!(tail.completed_cycle && tail.versions_retired > 0);
-        cells.cursor.store(6, Ordering::Relaxed);
+        cells.cursor.store(6, Ordering::SeqCst);
 
         // The first pass now completes retiring nothing; quiescence must NOT be declared
         // until a fresh cycle has swept the dirty prefix too.

@@ -1,7 +1,8 @@
 //! The versioned CAS object (paper §3.1, Algorithm 1).
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{AtomicBool, Ordering};
 
 use vcas_ebr::{Atomic, Guard, Owned, Shared};
 
@@ -55,8 +56,27 @@ pub(crate) struct ValueHook<T> {
     pub(crate) release: fn(T, &Arc<Camera>, &Guard),
 }
 
+// SAFETY: the cell owns its version list; all shared access goes through atomics and
+// epoch guards, so it may move between threads whenever `T` itself is `Send + Sync`.
 unsafe impl<T: Copy + Send + Sync> Send for VersionedCas<T> {}
+// SAFETY: reads, CASes and truncation are all safe for concurrent callers (truncation is
+// self-serializing via `truncating`); `&VersionedCas<T>` is shareable when `T: Send + Sync`.
 unsafe impl<T: Copy + Send + Sync> Sync for VersionedCas<T> {}
+
+/// Success ordering of the publication CAS in [`VersionedCas::compare_and_swap`].
+///
+/// The protocol requires `SeqCst`: publishing a version node must be totally ordered with
+/// the camera's timestamp reads so that `initTS` helping sees a frozen head. The
+/// `vcas_weaken_publish` cfg exists solely for the mutation regression test in
+/// `crates/analysis/tests/mutation.rs`, which proves the model checker catches the bug
+/// this weakening introduces (stock builds never set the cfg).
+#[cfg(not(vcas_weaken_publish))]
+pub const PUBLISH_CAS_ORDERING: Ordering = Ordering::SeqCst;
+/// Mutated (deliberately wrong) publication ordering — see the stock-build docs above.
+// ORDERING: mutation-test — test-only deliberate weakening; never compiled into stock
+// builds (guarded by `--cfg vcas_weaken_publish`).
+#[cfg(vcas_weaken_publish)]
+pub const PUBLISH_CAS_ORDERING: Ordering = Ordering::Relaxed;
 
 impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     /// Creates a versioned CAS object holding `initial`, associated with `camera`.
@@ -110,6 +130,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     /// `vRead`: returns the current value. Constant time.
     pub fn read(&self, guard: &Guard) -> T {
         let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: the head pointer is never null and `guard` pins the epoch.
         let node = unsafe { head.deref() };
         self.init_ts(node);
         node.val
@@ -119,6 +140,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     /// `true`; otherwise return `false`. Constant time.
     pub fn compare_and_swap(&self, old: T, new: T, guard: &Guard) -> bool {
         let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: the head pointer is never null and `guard` pins the epoch.
         let head_ref = unsafe { head.deref() };
         self.init_ts(head_ref);
         if head_ref.val != old {
@@ -133,19 +155,27 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
             (h.acquire)(new);
         }
         let new_node = Owned::new(VNode::new(new, head)).into_shared(guard);
-        match self.head.compare_exchange(head, new_node, Ordering::SeqCst, Ordering::SeqCst, guard)
-        {
+        match self.head.compare_exchange(
+            head,
+            new_node,
+            PUBLISH_CAS_ORDERING,
+            Ordering::SeqCst,
+            guard,
+        ) {
             Ok(_) => {
+                // SAFETY: we just published `new_node`; it is non-null and epoch-protected.
                 self.init_ts(unsafe { new_node.deref() });
                 self.camera.note_versions_created(1);
                 true
             }
             Err(err) => {
-                // The node was never published; reclaim it immediately (Algorithm 1 line 50).
+                // SAFETY: the CAS failed, so the node was never published and this thread
+                // still owns it exclusively; reclaim immediately (Algorithm 1 line 50).
                 unsafe { drop(err.new.into_owned()) };
                 self.release_value(new, guard);
                 // Help the vCAS that beat us stamp its node before we report failure.
                 let current = self.head.load(Ordering::SeqCst, guard);
+                // SAFETY: the head pointer is never null and `guard` pins the epoch.
                 self.init_ts(unsafe { current.deref() });
                 false
             }
@@ -210,6 +240,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     fn read_snapshot_impl(&self, handle: SnapshotHandle, guard: &Guard) -> Result<T, (u64, T)> {
         let ts = handle.raw();
         let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: the head pointer is never null and `guard` pins the epoch.
         let mut node = unsafe { head.deref() };
         self.init_ts(node);
         loop {
@@ -218,6 +249,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                 return Ok(node.val);
             }
             let next = node.nextv.load(Ordering::SeqCst, guard);
+            // SAFETY: version-list links are epoch-protected while `guard` is live.
             match unsafe { next.as_ref() } {
                 Some(older) => node = older,
                 None => return Err((node_ts, node.val)),
@@ -230,6 +262,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     pub fn versions(&self, guard: &Guard) -> Vec<(u64, T)> {
         let mut out = Vec::new();
         let mut cur = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: version-list links are epoch-protected while `guard` is live.
         while let Some(node) = unsafe { cur.as_ref() } {
             out.push((node.ts.load(Ordering::SeqCst), node.val));
             cur = node.nextv.load(Ordering::SeqCst, guard);
@@ -241,6 +274,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     pub fn version_count(&self, guard: &Guard) -> usize {
         let mut count = 0;
         let mut cur = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: version-list links are epoch-protected while `guard` is live.
         while let Some(node) = unsafe { cur.as_ref() } {
             count += 1;
             cur = node.nextv.load(Ordering::SeqCst, guard);
@@ -268,6 +302,8 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         // the unlinked node stays intact until its grace period — or the new one.)
         if self
             .truncating
+            // ORDERING: truncation-gate — failure means "someone else is truncating,
+            // skip"; no data is read under the failed CAS, so its load can be relaxed.
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
@@ -275,6 +311,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         }
         let mut retired = 0;
         let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: the head pointer is never null and `guard` pins the epoch.
         let mut node = unsafe { head.deref() };
         self.init_ts(node);
         // Walk toward the newest version with ts <= min_active, unlinking dead
@@ -288,9 +325,12 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                 if !next.is_null() {
                     node.nextv.store(Shared::null(), Ordering::SeqCst);
                     let mut cur = next;
+                    // SAFETY: the detached suffix stays epoch-protected under `guard`.
                     while let Some(n) = unsafe { cur.as_ref() } {
                         let after = n.nextv.load(Ordering::SeqCst, guard);
                         self.release_value(n.val, guard);
+                        // SAFETY: the suffix was detached above, so no new reader can reach
+                        // `cur`; each suffix node is retired exactly once.
                         unsafe { guard.defer_destroy(cur) };
                         retired += 1;
                         cur = after;
@@ -298,6 +338,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                 }
                 break;
             }
+            // SAFETY: version-list links are epoch-protected while `guard` is live.
             let Some(older) = (unsafe { next.as_ref() }) else { break };
             // Only the head can still be TBD, and `init_ts` above stamped it, so every
             // node on this walk has a valid timestamp; the checks are belt-and-braces.
@@ -308,6 +349,8 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                 let after = older.nextv.load(Ordering::SeqCst, guard);
                 node.nextv.store(after, Ordering::SeqCst);
                 self.release_value(older.val, guard);
+                // SAFETY: `older` was just unlinked and truncation is serialized, so it is
+                // retired exactly once; in-flight readers are epoch-protected.
                 unsafe { guard.defer_destroy(next) };
                 retired += 1;
                 continue;
@@ -336,10 +379,15 @@ impl<T: Copy> Drop for VersionedCas<T> {
         // deferred work; guards nest).
         let guard = if self.hook.is_some() { Some(vcas_ebr::pin()) } else { None };
         let mut freed = 0u64;
+        // SAFETY: `&mut self` in `drop` means no concurrent access; the list is walked and
+        // freed exactly once.
         unsafe {
+            // ORDERING: drop-exclusive — destructor holds `&mut self`; there is no
+            // concurrent observer to order against.
             let mut cur = self.head.load_unprotected(Ordering::Relaxed);
             while !cur.is_null() {
                 let node = cur.deref();
+                // ORDERING: drop-exclusive — see the load above.
                 let next = node.nextv.load_unprotected(Ordering::Relaxed);
                 if let (Some(h), Some(g)) = (&self.hook, &guard) {
                     (h.release)(node.val, &self.camera, g);
@@ -571,7 +619,7 @@ mod tests {
         // of successful CASes, and snapshots taken along the way are monotone.
         let cam = Camera::new();
         let v = Arc::new(VersionedCas::new(0u64, &cam));
-        let successes = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let successes = Arc::new(crate::sync::AtomicU64::new(0));
         let mut threads = Vec::new();
         for _ in 0..4 {
             let v = v.clone();
@@ -583,7 +631,7 @@ mod tests {
                     let g = pin();
                     let cur = v.read(&g);
                     if v.compare_and_swap(cur, cur + 1, &g) {
-                        successes.fetch_add(1, Ordering::Relaxed);
+                        successes.fetch_add(1, Ordering::SeqCst);
                     }
                     let h = cam.take_snapshot();
                     let snap = v.read_snapshot(h, &g);
@@ -596,7 +644,7 @@ mod tests {
             t.join().unwrap();
         }
         let g = pin();
-        assert_eq!(v.read(&g), successes.load(Ordering::Relaxed));
+        assert_eq!(v.read(&g), successes.load(Ordering::SeqCst));
     }
 
     #[test]
@@ -607,13 +655,13 @@ mod tests {
         let cam = Camera::new();
         let x = Arc::new(VersionedCas::new(0u64, &cam));
         let y = Arc::new(VersionedCas::new(0u64, &cam));
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
 
         let writer = {
             let (x, y, stop) = (x.clone(), y.clone(), stop.clone());
             std::thread::spawn(move || {
                 let mut i = 0u64;
-                while !stop.load(Ordering::Relaxed) && i < 200_000 {
+                while !stop.load(Ordering::SeqCst) && i < 200_000 {
                     let g = pin();
                     let xv = x.read(&g);
                     x.compare_and_swap(xv, xv + 1, &g);
@@ -640,7 +688,7 @@ mod tests {
         });
 
         reader.join().unwrap();
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::SeqCst);
         writer.join().unwrap();
     }
 }

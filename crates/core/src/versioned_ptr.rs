@@ -8,8 +8,9 @@
 //! bits that Harris-style lists use as deletion marks.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{fence, AtomicU64, Ordering};
 
 use vcas_ebr::{Guard, Owned, Shared};
 
@@ -61,18 +62,26 @@ pub fn release_node_ref<N: VersionReferenced>(
     guard: &Guard,
 ) {
     let node = node.with_tag(0);
+    // SAFETY: callers hold `guard`, so the node (if non-null) is epoch-protected.
     let Some(n) = (unsafe { node.as_ref() }) else { return };
     if n.version_refs().fetch_sub(1, Ordering::Release) == 1 {
         fence(Ordering::Acquire);
         camera.note_nodes_retired(1);
+        // SAFETY: the counter hit zero: no retained version references the node and no
+        // thread can republish it, so it is retired exactly once.
         unsafe { guard.defer_destroy(node) };
     }
 }
 
 /// `ValueHook::acquire` for a managed pointer cell: counts the new version's reference.
 fn acquire_word<N: VersionReferenced>(word: usize) {
+    // SAFETY: `word` came from a live `Shared` the caller's guard protects.
     let shared = unsafe { Shared::<'_, N>::from_data(word) }.with_tag(0);
+    // SAFETY: the hook runs pre-publication under the caller's guard; the target is live.
     if let Some(n) = unsafe { shared.as_ref() } {
+        // ORDERING: refcount-acquire — incrementing from a state where the counter is
+        // already known non-zero (the caller holds a counted reference); only the
+        // decrement-to-zero path needs ordering (release + acquire fence there).
         n.version_refs().fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -80,6 +89,8 @@ fn acquire_word<N: VersionReferenced>(word: usize) {
 /// `ValueHook::release` for a managed pointer cell: drops the destroyed version's
 /// reference, retiring the node when it was the last.
 fn release_word<N: VersionReferenced>(word: usize, camera: &Arc<Camera>, guard: &Guard) {
+    // SAFETY: the version node being destroyed held a counted reference, so the word still
+    // denotes a live (epoch-protected) node or null.
     release_node_ref(unsafe { Shared::<'_, N>::from_data(word) }, camera, guard);
 }
 
@@ -89,7 +100,10 @@ pub struct VersionedPtr<N> {
     _marker: PhantomData<*mut N>,
 }
 
+// SAFETY: the `PhantomData<*mut N>` only tracks variance; the cell itself is an atomic
+// word (see `VersionedCas`), safe to move across threads when `N: Send + Sync`.
 unsafe impl<N: Send + Sync> Send for VersionedPtr<N> {}
+// SAFETY: shared access goes through the inner `VersionedCas`, which is `Sync`.
 unsafe impl<N: Send + Sync> Sync for VersionedPtr<N> {}
 
 impl<N: 'static> VersionedPtr<N> {
@@ -129,6 +143,7 @@ impl<N: 'static> VersionedPtr<N> {
 
     /// `vRead`: the current tagged pointer. Constant time.
     pub fn load<'g>(&self, guard: &'g Guard) -> Shared<'g, N> {
+        // SAFETY: the stored word was produced by `Shared::into_data` on this cell.
         unsafe { Shared::from_data(self.inner.read(guard)) }
     }
 
@@ -138,6 +153,7 @@ impl<N: 'static> VersionedPtr<N> {
     /// retained history (see [`VersionedCas::read_snapshot`]); use
     /// [`VersionedPtr::load_snapshot_checked`] to detect that case.
     pub fn load_snapshot<'g>(&self, handle: SnapshotHandle, guard: &'g Guard) -> Shared<'g, N> {
+        // SAFETY: the stored word was produced by `Shared::into_data` on this cell.
         unsafe { Shared::from_data(self.inner.read_snapshot(handle, guard)) }
     }
 
@@ -149,6 +165,7 @@ impl<N: 'static> VersionedPtr<N> {
         handle: SnapshotHandle,
         guard: &'g Guard,
     ) -> Option<Shared<'g, N>> {
+        // SAFETY: the stored word was produced by `Shared::into_data` on this cell.
         self.inner.read_snapshot_checked(handle, guard).map(|d| unsafe { Shared::from_data(d) })
     }
 
@@ -184,6 +201,7 @@ impl<N: 'static> VersionedPtr<N> {
         self.inner
             .versions(guard)
             .into_iter()
+            // SAFETY: every retained word was produced by `Shared::into_data` on this cell.
             .map(|(_, data)| unsafe { Shared::from_data(data) })
             .collect()
     }
@@ -224,10 +242,14 @@ mod tests {
         assert!(p.compare_exchange(first, second, &g));
         let h1 = cam.take_snapshot();
 
+        // SAFETY: both nodes stay alive until the explicit drops below.
         assert_eq!(unsafe { *p.load(&g).deref() }, 2);
+        // SAFETY: as above.
         assert_eq!(unsafe { *p.load_snapshot(h0, &g).deref() }, 1);
+        // SAFETY: as above.
         assert_eq!(unsafe { *p.load_snapshot(h1, &g).deref() }, 2);
 
+        // SAFETY: unmanaged cell — the test owns both nodes and frees each once.
         unsafe {
             drop(first.into_owned());
             drop(second.into_owned());
@@ -245,6 +267,7 @@ mod tests {
         let loaded = p.load(&g);
         assert_eq!(loaded.tag(), 1);
         assert_eq!(loaded.as_raw(), node.as_raw());
+        // SAFETY: unmanaged cell — the test owns the node and frees it once.
         unsafe { drop(node.into_owned()) };
     }
 
@@ -262,8 +285,10 @@ mod tests {
         assert!(p.compare_exchange(b, c, &g));
 
         let versions = p.all_versions(&g);
+        // SAFETY: a, b, c stay alive until the explicit drops below.
         let vals: Vec<u64> = versions.iter().map(|s| unsafe { *s.deref() }).collect();
         assert_eq!(vals, vec![3, 2, 1]);
+        // SAFETY: unmanaged cell — the test owns all three nodes and frees each once.
         unsafe {
             drop(a.into_owned());
             drop(b.into_owned());

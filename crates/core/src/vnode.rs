@@ -1,8 +1,8 @@
 //! Version-list nodes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use vcas_ebr::{Atomic, Shared};
+
+use crate::sync::{AtomicU64, Ordering};
 
 use crate::TBD;
 
@@ -75,7 +75,9 @@ mod tests {
         let second = VNode::new(2u64, first);
         let next = second.nextv.load(Ordering::SeqCst, &g);
         assert_eq!(next, first);
+        // SAFETY: `first` stays alive until the explicit drop below.
         assert_eq!(unsafe { *next.deref().value() }, 1);
+        // SAFETY: the test owns the node and frees it once.
         unsafe { drop(first.into_owned()) };
     }
 }

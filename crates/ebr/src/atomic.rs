@@ -6,10 +6,10 @@
 //! itself (Harris's delete mark, the NBBST's flag/mark states), so that a single CAS changes
 //! pointer and state atomically.
 
+use crate::sync::{AtomicUsize, Ordering};
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::guard::Guard;
 
@@ -47,6 +47,8 @@ pub struct Owned<T> {
     _marker: PhantomData<Box<T>>,
 }
 
+// SAFETY: `Owned<T>` is a unique owner of a heap allocation of `T` (semantically a
+// `Box<T>` with a tag), so it is `Send` exactly when `T` is.
 unsafe impl<T: Send> Send for Owned<T> {}
 
 impl<T> Owned<T> {
@@ -93,6 +95,8 @@ impl<T> Owned<T> {
     #[allow(clippy::should_implement_trait)]
     pub fn as_mut(&mut self) -> &mut T {
         let (raw, _) = decompose::<T>(self.data);
+        // SAFETY: an `Owned` always holds a unique, live, properly aligned allocation
+        // (invariant of its constructors), and `&mut self` proves exclusivity.
         unsafe { &mut *(raw as *mut T) }
     }
 
@@ -101,6 +105,7 @@ impl<T> Owned<T> {
     #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &T {
         let (raw, _) = decompose::<T>(self.data);
+        // SAFETY: as in `as_mut`: the allocation is live and uniquely owned by `self`.
         unsafe { &*(raw as *const T) }
     }
 }
@@ -109,6 +114,8 @@ impl<T> Drop for Owned<T> {
     fn drop(&mut self) {
         let (raw, _) = decompose::<T>(self.data);
         if raw != 0 {
+            // SAFETY: the allocation came from `Box::into_raw` in a constructor and
+            // ownership was never relinquished (`into_shared` forgets `self` first).
             unsafe { drop(Box::from_raw(raw as *mut T)) }
         }
     }
@@ -241,7 +248,12 @@ pub struct Atomic<T> {
     _marker: PhantomData<*mut T>,
 }
 
+// SAFETY: an `Atomic<T>` is a shared handle to a heap-allocated `T` that may be read
+// and replaced from any thread; that is sound exactly when `&T` can be shared across
+// threads (`T: Sync`) and the boxed value can be dropped on another thread (`T: Send`).
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: see the `Send` impl above; `&Atomic<T>` only exposes operations that are
+// themselves atomic.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Atomic<T> {
@@ -338,6 +350,8 @@ impl<T> Atomic<T> {
     /// # Safety
     /// Callable only when no other thread can access the cell (e.g. in `Drop`).
     pub unsafe fn take(&self) -> Option<Box<T>> {
+        // ORDERING: drop-exclusive — callable only with exclusive access (the cell's
+        // destructor); there is no concurrent observer to order against.
         let data = self.data.swap(0, Ordering::Relaxed);
         let (raw, _) = decompose::<T>(data);
         if raw == 0 {
@@ -356,6 +370,7 @@ impl<T> Default for Atomic<T> {
 
 impl<T> fmt::Debug for Atomic<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // ORDERING: debug-readout — best-effort snapshot for `Debug` formatting.
         let data = self.data.load(Ordering::Relaxed);
         let (raw, tag) = decompose::<T>(data);
         f.debug_struct("Atomic").field("raw", &(raw as *mut T)).field("tag", &tag).finish()
@@ -377,6 +392,7 @@ mod tests {
         assert_eq!(p1.tag(), 1);
         assert_eq!(p1.as_raw(), p.as_raw());
         assert_eq!(p1.with_tag(0), p);
+        // SAFETY: single-threaded test; `p` is the only reference to the allocation.
         unsafe { drop(p.into_owned()) };
     }
 
@@ -386,6 +402,7 @@ mod tests {
         let a: Atomic<u64> = Atomic::null();
         let p = a.load(Ordering::SeqCst, &g);
         assert!(p.is_null());
+        // SAFETY: `as_ref` on null merely returns `None`.
         assert!(unsafe { p.as_ref() }.is_none());
         assert_eq!(p, Shared::null());
     }
@@ -399,6 +416,7 @@ mod tests {
         let prev =
             a.compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst, &g).expect("cas");
         assert_eq!(prev, cur);
+        // SAFETY: the CAS unlinked `prev`; this test is single-threaded, so no reader.
         unsafe { drop(prev.into_owned()) };
 
         // Second CAS from the stale value must fail and hand back the new node.
@@ -406,8 +424,11 @@ mod tests {
         let err = a
             .compare_exchange(cur, newer, Ordering::SeqCst, Ordering::SeqCst, &g)
             .expect_err("stale cas must fail");
+        // SAFETY: `err.current` was loaded under `g` and nothing retires it here.
         assert_eq!(unsafe { *err.current.deref() }, 2);
+        // SAFETY: the failed CAS hands `new` back unpublished; we still own it.
         unsafe { drop(err.new.into_owned()) };
+        // SAFETY: single-threaded teardown of the cell's last value.
         unsafe { drop(a.take()) };
     }
 
@@ -419,7 +440,9 @@ mod tests {
         assert_eq!(before.tag(), 0);
         let after = a.load(Ordering::SeqCst, &g);
         assert_eq!(after.tag(), 1);
+        // SAFETY: loaded under `g`; the value is never retired in this test.
         assert_eq!(unsafe { *after.deref() }, 5);
+        // SAFETY: single-threaded teardown; the untagged pointer owns the allocation.
         unsafe { drop(after.with_tag(0).into_owned()) };
     }
 
@@ -428,8 +451,11 @@ mod tests {
         let g = pin();
         let a: Atomic<String> = Atomic::new("old".to_string());
         let prev = a.swap(Owned::new("new".to_string()), Ordering::SeqCst, &g);
+        // SAFETY: loaded under `g`; the swapped-out node is not retired elsewhere.
         assert_eq!(unsafe { prev.deref() }, "old");
+        // SAFETY: the swap unlinked `prev`; single-threaded, so no concurrent reader.
         unsafe { drop(prev.into_owned()) };
+        // SAFETY: single-threaded teardown of the cell's last value.
         unsafe { drop(a.take()) };
     }
 

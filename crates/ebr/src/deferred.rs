@@ -44,7 +44,7 @@ impl std::fmt::Debug for Deferred {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]

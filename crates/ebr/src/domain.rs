@@ -1,9 +1,8 @@
 //! The reclamation [`Domain`]: global epoch, participant registry, and garbage queue.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use crate::deferred::Deferred;
 use crate::guard::Guard;
@@ -36,6 +35,8 @@ impl Participant {
 
     /// Withdraw the announcement.
     pub(crate) fn set_unpinned(&self) {
+        // ORDERING: own-announcement — only the owning thread stores to its participant
+        // word, so this read of our own last store needs no synchronization.
         let epoch = self.state.load(Ordering::Relaxed) >> 2;
         self.state.store(epoch << 2, Ordering::SeqCst);
     }
@@ -88,6 +89,7 @@ impl Domain {
     /// Creates a fresh, empty domain.
     pub fn new() -> Self {
         Domain {
+            // ORDERING: id-allocator — a unique-id counter; only atomicity matters.
             id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed) as u64,
             global_epoch: AtomicU64::new(1),
             participants: Mutex::new(Vec::new()),
@@ -122,6 +124,7 @@ impl Domain {
         if items.is_empty() {
             return;
         }
+        // ORDERING: diag-counter — statistics only, never drives reclamation decisions.
         self.deferred_count.fetch_add(items.len() as u64, Ordering::Relaxed);
         self.garbage.lock().append(items);
     }
@@ -151,6 +154,7 @@ impl Domain {
             .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
+            // ORDERING: diag-counter — statistics only, never drives reclamation decisions.
             self.advance_count.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -177,6 +181,7 @@ impl Domain {
             ready
         };
         if !ready.is_empty() {
+            // ORDERING: diag-counter — statistics only, never drives reclamation decisions.
             self.collected_count.fetch_add(ready.len() as u64, Ordering::Relaxed);
             for d in ready {
                 d.call();
@@ -203,6 +208,8 @@ impl Domain {
     /// teardown, the end of a benchmark phase — where exact reclamation accounting matters.
     pub fn drain(self: &Arc<Self>) -> usize {
         let mut stalled_rounds = 0;
+        // ORDERING: progress-heuristic — `drain` only compares this counter against a later
+        // read of itself to decide when to stop retrying; staleness is self-correcting.
         let mut last_collected = self.collected_count.load(Ordering::Relaxed);
         loop {
             local::flush(self);
@@ -215,6 +222,7 @@ impl Domain {
             self.try_advance();
             self.try_advance();
             self.collect();
+            // ORDERING: progress-heuristic — see above.
             let collected = self.collected_count.load(Ordering::Relaxed);
             if collected == last_collected {
                 // Neither of the two advances unblocked anything: a stale pin elsewhere.
@@ -233,7 +241,9 @@ impl Domain {
     pub fn stats(&self) -> DomainStats {
         DomainStats {
             epoch: self.global_epoch.load(Ordering::SeqCst),
+            // ORDERING: diag-counter — statistics only, never drives reclamation decisions.
             deferred: self.deferred_count.load(Ordering::Relaxed),
+            // ORDERING: diag-counter — statistics only, never drives reclamation decisions.
             collected: self.collected_count.load(Ordering::Relaxed),
             pending: self.garbage.lock().len(),
             participants: self.participants.lock().len(),
@@ -304,7 +314,6 @@ mod tests {
 
     #[test]
     fn domain_drop_runs_pending_garbage() {
-        use std::sync::atomic::AtomicUsize;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         {
             let d = Arc::new(Domain::new());

@@ -69,8 +69,8 @@ impl std::fmt::Debug for Guard {
 
 #[cfg(test)]
 mod tests {
+    use crate::sync::{AtomicUsize, Ordering};
     use crate::{pin, Atomic, Owned};
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]
@@ -86,12 +86,14 @@ mod tests {
         {
             let g = pin();
             let old = a.swap(Owned::new(Probe(drops.clone())), Ordering::SeqCst, &g);
+            // SAFETY: the swap made `old` unreachable for new readers; retired once.
             unsafe { g.defer_destroy(old) };
         }
         for _ in 0..16 {
             crate::flush();
         }
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // SAFETY: single-threaded teardown of the cell's last value.
         unsafe { drop(a.take()) };
         assert_eq!(drops.load(Ordering::SeqCst), 2);
     }

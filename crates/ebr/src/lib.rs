@@ -22,20 +22,26 @@
 //! ## Quick example
 //!
 //! ```
+//! use vcas_ebr::sync::Ordering;
 //! use vcas_ebr::{pin, Atomic, Owned};
-//! use std::sync::atomic::Ordering;
 //!
 //! let a: Atomic<u64> = Atomic::new(41);
 //! let guard = pin();
 //! let shared = a.load(Ordering::SeqCst, &guard);
+//! // SAFETY: the guard pins the epoch, so the loaded pointer stays valid.
 //! assert_eq!(unsafe { *shared.as_ref().unwrap() }, 41);
 //!
 //! // Replace the value and retire the old node.
 //! let old = a.swap(Owned::new(42), Ordering::SeqCst, &guard);
+//! // SAFETY: the swap unlinked `old`; it is retired exactly once.
 //! unsafe { guard.defer_destroy(old) };
 //! ```
 
 #![warn(missing_docs)]
+
+/// Synchronization facade (`vcas-sync`): std atomics normally, the deterministic model
+/// checker's instrumented types under `--cfg vcas_model`.
+pub use vcas_sync as sync;
 
 mod atomic;
 mod deferred;
@@ -90,7 +96,7 @@ pub fn drain() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]
@@ -147,6 +153,8 @@ mod tests {
             let g = domain.pin();
             let probe = Box::new(Probe(dropped2));
             let raw = Box::into_raw(probe);
+            // SAFETY: `raw` is uniquely owned here and freed exactly once by the deferred
+            // closure; the guard keeps it alive until no pinned thread can reach it.
             unsafe {
                 g.defer_unchecked(move || {
                     drop(Box::from_raw(raw));
@@ -186,6 +194,7 @@ mod tests {
                 for _ in 0..PER_THREAD {
                     let g = d.pin();
                     let raw = Box::into_raw(Box::new(Probe(c.clone())));
+                    // SAFETY: each raw pointer is freed exactly once by its own closure.
                     unsafe {
                         g.defer_unchecked(move || drop(Box::from_raw(raw)));
                     }

@@ -35,7 +35,7 @@ impl LocalInner {
             // `set_pinned` uses a SeqCst store and the loads that follow in data-structure
             // code are at least Acquire, which together with the SeqCst fence below gives the
             // ordering the advance protocol relies on.
-            std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+            crate::sync::fence(crate::sync::Ordering::SeqCst);
         }
         self.pin_depth.set(depth + 1);
     }

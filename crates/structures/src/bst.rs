@@ -18,8 +18,8 @@
 //! therefore snapshot-able by versioning only those pointers (the `update` words stay
 //! unversioned — the paper's first optimization in §5).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vcas_core::sync::{AtomicU64, Ordering};
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{

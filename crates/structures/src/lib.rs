@@ -53,6 +53,11 @@
 //! conveniences around the view API.
 
 #![warn(missing_docs)]
+// Satellite of the vcas-analysis lint pass: surface undocumented `unsafe` in local builds.
+// CI's clippy run passes `--force-warn clippy::undocumented_unsafe_blocks` so `-D warnings`
+// cannot escalate these legacy sites; the allowlist ratchet in `crates/analysis` is what
+// forbids growth. vcas-core / vcas-ebr / vcas-sync / vcas-analysis set this to `deny`.
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 pub mod baselines;
 pub mod bst;

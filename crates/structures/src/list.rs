@@ -8,8 +8,8 @@
 //! query: range queries, multi-searches, i-th element, and full scans (Table 1 rows for the
 //! Harris linked list).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vcas_core::sync::{AtomicU64, Ordering};
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{

@@ -32,8 +32,8 @@
 //! adopted waypoint is live at `ts`, so its pointers at `ts` are the true successors and
 //! the final level-0 walk starts on the real `ts`-list.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vcas_core::sync::{AtomicU64, Ordering};
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{

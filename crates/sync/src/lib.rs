@@ -1,0 +1,44 @@
+//! # vcas-sync — the atomics facade for the vCAS workspace
+//!
+//! Every atomic and mutex the protocol crates (`vcas-core`, `vcas-ebr`) use is imported
+//! from this crate instead of from `std::sync::atomic` / `parking_lot` directly. The
+//! facade has two personalities:
+//!
+//! * **Normal builds** (the default): pure re-exports. [`AtomicU64`], [`AtomicUsize`],
+//!   [`AtomicBool`], [`Ordering`] and [`fence`] *are* the `std` items, and [`Mutex`] /
+//!   [`MutexGuard`] are `parking_lot`'s. Zero overhead, zero behavioral change.
+//!
+//! * **Model builds** (`RUSTFLAGS="--cfg vcas_model"`): the same names resolve to thin
+//!   wrappers that route every load, store, RMW, fence and lock acquisition through the
+//!   deterministic scheduler in the `model` module (only compiled under the cfg, hence
+//!   no doc link here). A test wraps its body in `model::explore` and the scheduler
+//!   enumerates thread interleavings by bounded depth-first search (or replays a random
+//!   seeded schedule, `model::stress`), reporting any panic together with the exact
+//!   schedule that produced it.
+//!
+//! Threads that are not part of a model run (there is always exactly one run at a time)
+//! fall through to the real operations, so the rest of a test binary keeps working even
+//! when compiled with `--cfg vcas_model`.
+//!
+//! The `vcas-analysis` lint pass enforces that `vcas-core` and `vcas-ebr` never import
+//! `std::sync::atomic` or `parking_lot` directly — this crate is the single doorway, which
+//! is what makes the model checker's interception complete.
+
+#![warn(missing_docs)]
+
+#[cfg(not(vcas_model))]
+pub use parking_lot::{Mutex, MutexGuard};
+#[cfg(not(vcas_model))]
+pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(vcas_model)]
+pub mod model;
+#[cfg(vcas_model)]
+mod types;
+#[cfg(vcas_model)]
+pub use std::sync::atomic::Ordering;
+#[cfg(vcas_model)]
+pub use types::{fence, AtomicBool, AtomicU64, AtomicUsize, Mutex, MutexGuard};
+
+#[cfg(all(test, vcas_model))]
+mod model_tests;

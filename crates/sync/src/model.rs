@@ -1,0 +1,1025 @@
+//! Deterministic interleaving exploration for the facade atomics (`--cfg vcas_model`).
+//!
+//! This is a self-contained, loom-style model checker built for this workspace's offline
+//! environment (stable toolchain, no Miri/TSan, no external crates). A test hands
+//! [`explore`] a closure; the closure runs as *thread 0* of a **model run** and may start
+//! more threads with [`spawn`]. Every facade operation (atomic load/store/RMW/CAS, fence,
+//! mutex lock/unlock) is a *scheduling point*: exactly one model thread runs at a time and
+//! at each point the scheduler decides who runs next. The sequence of decisions is a
+//! *schedule*; [`explore`] enumerates schedules by bounded depth-first search with
+//! backtracking, [`stress`] samples them from a seeded PRNG, and [`replay`] re-executes one
+//! recorded schedule. Any panic inside the run is reported as a [`Violation`] carrying the
+//! schedule (and seed) that produced it.
+//!
+//! ## Scope and deliberate simplifications
+//!
+//! * **Sequential consistency by default.** With `Config::weak_memory == false` every load
+//!   returns the latest value in modification order, so exploration covers *interleavings*
+//!   only. This matches the paper's presentation of the vCAS protocol (Wei et al.,
+//!   PPoPP '21 assume SC in the proofs) and the implementation's SeqCst-everywhere policy
+//!   on protocol-critical atomics.
+//! * **Bounded release/acquire weak memory on request.** With `weak_memory == true`,
+//!   non-SeqCst loads may additionally return one of the last `max_stale` values written,
+//!   subject to per-thread coherence and to release/acquire synchronization tracked as
+//!   per-location vector views. This is a *conservative approximation* of C11: RMWs always
+//!   read the latest value, SeqCst loads always read the latest value, and **fences are
+//!   scheduling points only** (fence-based publication is not modeled). It is strong enough
+//!   to catch a publication CAS demoted from `SeqCst`/`Release` to `Relaxed` (see the
+//!   `vcas-analysis` mutation test) without false-positives on SC-correct code.
+//! * **Preemption bounding** (CHESS-style): `Config::preemption_bound` caps how many times
+//!   a schedule may switch away from a thread that could have continued; forced switches
+//!   (blocked or finished threads) are free. Small bounds find most bugs at a fraction of
+//!   the schedule count.
+//!
+//! Model threads are real OS threads cooperating through a token: a thread only executes
+//! between scheduling points while it holds the token, so any data it touches outside the
+//! facade is still executed faithfully. Non-model threads (anything not spawned by the
+//! run) bypass the scheduler entirely and hit the real atomics.
+//!
+//! ## Caveats for test authors
+//!
+//! * Process-global lazy state (e.g. `vcas_ebr::default_domain()`'s `OnceLock`) must be
+//!   initialized *before* entering [`explore`] — pre-warm with `drop(vcas_ebr::pin())` —
+//!   otherwise a model thread can OS-block inside the init while holding the token.
+//! * The closure runs once per schedule; it must be idempotent (build all state inside).
+//! * Runs are process-global and serialized by an internal lock; running model tests with
+//!   `--test-threads=1` keeps unrelated facade traffic (e.g. another test's epoch pin on
+//!   the shared default domain) from contending with a run's mutexes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------------------
+// Public configuration / report types
+// ---------------------------------------------------------------------------------------
+
+/// Exploration budget and memory-model knobs for one [`explore`]/[`stress`] call.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of schedules to execute before giving up (DFS) — the run is then
+    /// reported as not [`Report::exhausted`].
+    pub max_schedules: usize,
+    /// Per-schedule cap on scheduling points; a run that exceeds it is pruned (counted in
+    /// [`Report::pruned`]), which keeps livelocking schedules from hanging the search.
+    pub max_steps: usize,
+    /// CHESS-style preemption bound (`None` = unbounded). Voluntary continuations and
+    /// forced switches are always allowed.
+    pub preemption_bound: Option<usize>,
+    /// Enable the bounded release/acquire weak-memory model (see module docs). Off by
+    /// default: protocol tests explore interleavings under sequential consistency.
+    pub weak_memory: bool,
+    /// With `weak_memory`, how many of the most recent writes a non-SeqCst load may
+    /// observe (1 = latest only).
+    pub max_stale: usize,
+    /// Wall-clock budget for the whole exploration; exceeded ⇒ stop early, not exhausted.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 50_000,
+            max_steps: 100_000,
+            preemption_bound: Some(2),
+            weak_memory: false,
+            max_stale: 3,
+            time_budget: None,
+        }
+    }
+}
+
+impl Config {
+    /// Builds a config from `VCAS_MODEL_*` environment variables (CI budget knobs):
+    /// `VCAS_MODEL_MAX_SCHEDULES`, `VCAS_MODEL_MAX_STEPS`, `VCAS_MODEL_PREEMPTION_BOUND`
+    /// (empty/`none` = unbounded), `VCAS_MODEL_TIME_BUDGET_MS`. Unset variables keep the
+    /// defaults.
+    pub fn from_env() -> Self {
+        let mut c = Config::default();
+        let get = |k: &str| std::env::var(k).ok();
+        if let Some(v) = get("VCAS_MODEL_MAX_SCHEDULES").and_then(|v| v.parse().ok()) {
+            c.max_schedules = v;
+        }
+        if let Some(v) = get("VCAS_MODEL_MAX_STEPS").and_then(|v| v.parse().ok()) {
+            c.max_steps = v;
+        }
+        if let Some(v) = get("VCAS_MODEL_PREEMPTION_BOUND") {
+            c.preemption_bound =
+                if v.is_empty() || v.eq_ignore_ascii_case("none") { None } else { v.parse().ok() };
+        }
+        if let Some(ms) = get("VCAS_MODEL_TIME_BUDGET_MS").and_then(|v| v.parse().ok()) {
+            c.time_budget = Some(Duration::from_millis(ms));
+        }
+        c
+    }
+}
+
+/// A failing schedule: the panic message plus everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The panic payload of the first thread that failed (or a scheduler-detected
+    /// condition such as a deadlock).
+    pub message: String,
+    /// The decision trace of the failing schedule; feed to [`replay`].
+    pub schedule: Vec<u32>,
+    /// The per-run PRNG seed, when the schedule came from [`stress`].
+    pub seed: Option<u64>,
+}
+
+/// Outcome of an [`explore`], [`stress`] or [`replay`] call.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// Schedules cut short by the [`Config::max_steps`] cap.
+    pub pruned: usize,
+    /// DFS only: the bounded schedule space was fully enumerated (no violation, no budget
+    /// exhaustion).
+    pub exhausted: bool,
+    /// The first failing schedule found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// True when a failing schedule was found.
+    pub fn found_violation(&self) -> bool {
+        self.violation.is_some()
+    }
+
+    /// Panics with a replayable description if a violation was found; `name` labels the
+    /// model in the message.
+    pub fn assert_no_violation(&self, name: &str) {
+        if let Some(v) = &self.violation {
+            panic!("model `{name}` failed after {} schedule(s):\n{v}", self.schedules);
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} schedule(s), {} pruned, exhausted={}",
+            self.schedules, self.pruned, self.exhausted
+        )?;
+        if let Some(v) = &self.violation {
+            write!(f, "\nviolation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        if let Some(seed) = self.seed {
+            writeln!(f, "seed: {seed} (VCAS_MODEL_SEED={seed} reruns the failing stress run)")?;
+        }
+        let csv: Vec<String> = self.schedule.iter().map(|d| d.to_string()).collect();
+        write!(f, "schedule: [{}] (pass to vcas_sync::model::replay)", csv.join(","))
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Finished,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockReason {
+    /// Spinning on `try_lock` of the facade mutex at this address.
+    Mutex(usize),
+    /// Waiting for the model thread with this tid to finish.
+    Join(usize),
+}
+
+struct ThreadState {
+    status: Status,
+    blocked: Option<BlockReason>,
+    /// Weak-memory view: per location, the minimum modification-order index this thread
+    /// may still observe (coherence + acquired release views).
+    view: HashMap<usize, usize>,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState { status: Status::Runnable, blocked: None, view: HashMap::new() }
+    }
+}
+
+struct Entry {
+    value: u64,
+    /// The writer's view at a release store/RMW; merged into a reader's view on an
+    /// acquire load that observes this entry.
+    view: Option<HashMap<usize, usize>>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    chosen: u32,
+    /// Number of alternatives at this point; 0 = unknown (replayed schedule).
+    alternatives: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Dfs,
+    Stress,
+    Replay,
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+struct RunState {
+    config: Config,
+    mode: Mode,
+    rng: Lcg,
+    active: Option<usize>,
+    threads: Vec<ThreadState>,
+    mem: HashMap<usize, Vec<Entry>>,
+    mutex_owners: HashMap<usize, usize>,
+    decisions: Vec<Decision>,
+    cursor: usize,
+    steps: usize,
+    preemptions: usize,
+    failure: Option<String>,
+    abort: bool,
+    pruned_run: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RunState {
+    fn new() -> Self {
+        RunState {
+            config: Config::default(),
+            mode: Mode::Dfs,
+            rng: Lcg::new(0),
+            active: None,
+            threads: Vec::new(),
+            mem: HashMap::new(),
+            mutex_owners: HashMap::new(),
+            decisions: Vec::new(),
+            cursor: 0,
+            steps: 0,
+            preemptions: 0,
+            failure: None,
+            abort: false,
+            pruned_run: false,
+            handles: Vec::new(),
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+}
+
+struct Runtime {
+    state: StdMutex<RunState>,
+    cv: Condvar,
+}
+
+fn runtime() -> &'static Runtime {
+    static RT: OnceLock<Runtime> = OnceLock::new();
+    RT.get_or_init(|| Runtime { state: StdMutex::new(RunState::new()), cv: Condvar::new() })
+}
+
+/// Serializes whole model runs: at most one `explore`/`stress`/`replay` at a time.
+fn model_lock() -> &'static StdMutex<()> {
+    static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| StdMutex::new(()))
+}
+
+fn lock(rt: &'static Runtime) -> StdMutexGuard<'static, RunState> {
+    rt.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static MODEL_TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    static IN_ABORT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Zero-sized panic payload used to unwind model threads when a run is torn down; never a
+/// user-visible failure.
+struct ModelAbort;
+
+/// True when the calling thread is a live model-run thread (and not currently unwinding).
+/// Facade operations on any other thread go straight to the real primitives.
+pub(crate) fn active_model_thread() -> bool {
+    MODEL_TID.with(|t| t.get()).is_some() && !IN_ABORT.with(|a| a.get())
+}
+
+fn cur_tid() -> usize {
+    MODEL_TID.with(|t| t.get()).expect("not a model thread")
+}
+
+fn raise_abort() -> ! {
+    IN_ABORT.with(|a| a.set(true));
+    panic::panic_any(ModelAbort);
+}
+
+/// Installed once per process: keeps model-thread panics quiet (the controller reports
+/// them with their schedule) and flags the thread so facade calls during its unwind fall
+/// through to the real primitives instead of re-entering the scheduler.
+fn install_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if MODEL_TID.with(|t| t.get()).is_some() {
+                IN_ABORT.with(|a| a.set(true));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------------------
+// Decisions and scheduling
+// ---------------------------------------------------------------------------------------
+
+/// Resolves one decision point with `alternatives` choices: replays the recorded prefix,
+/// then extends it (DFS: first alternative; stress: seeded PRNG). Points with a single
+/// alternative are not recorded.
+fn decide(st: &mut RunState, alternatives: usize) -> usize {
+    debug_assert!(alternatives >= 1);
+    if alternatives == 1 {
+        return 0;
+    }
+    if st.cursor < st.decisions.len() {
+        let d = st.decisions[st.cursor];
+        st.cursor += 1;
+        debug_assert!(
+            d.alternatives == 0 || d.alternatives as usize == alternatives,
+            "nondeterministic decision point: recorded {} alternatives, now {}",
+            d.alternatives,
+            alternatives
+        );
+        return (d.chosen as usize).min(alternatives - 1);
+    }
+    let chosen = match st.mode {
+        Mode::Dfs | Mode::Replay => 0,
+        Mode::Stress => (st.rng.next() % alternatives as u64) as usize,
+    };
+    st.decisions.push(Decision { chosen: chosen as u32, alternatives: alternatives as u32 });
+    st.cursor += 1;
+    chosen
+}
+
+fn unblock_all(st: &mut RunState) {
+    for t in &mut st.threads {
+        if t.status == Status::Runnable {
+            t.blocked = None;
+        }
+    }
+}
+
+fn fail_run(rt: &'static Runtime, mut st: StdMutexGuard<'_, RunState>, msg: String) -> ! {
+    if st.failure.is_none() {
+        st.failure = Some(msg);
+    }
+    st.abort = true;
+    st.active = None;
+    rt.cv.notify_all();
+    drop(st);
+    raise_abort();
+}
+
+/// The heart of the scheduler: called by the running thread (which holds the token) at
+/// every facade operation. Picks the next thread to run; if that is another thread, parks
+/// until the token comes back. `block` marks the caller as unable to progress until a
+/// model-visible event (mutex release / thread exit) clears it.
+fn schedule_point(block: Option<BlockReason>) {
+    let tid = cur_tid();
+    let rt = runtime();
+    let mut st = lock(rt);
+    if st.abort {
+        drop(st);
+        raise_abort();
+    }
+    st.steps += 1;
+    if st.steps > st.config.max_steps {
+        st.pruned_run = true;
+        st.abort = true;
+        st.active = None;
+        rt.cv.notify_all();
+        drop(st);
+        raise_abort();
+    }
+    st.threads[tid].blocked = block;
+
+    // An externally held facade mutex (a non-model thread briefly holding e.g. the shared
+    // EBR domain's registry lock) is not a model deadlock; wait it out bounded-ly.
+    let mut external_waits: usize = 0;
+    let candidates: Vec<usize> = loop {
+        let runnable: Vec<usize> =
+            (0..st.threads.len()).filter(|&t| st.threads[t].status == Status::Runnable).collect();
+        let nonblocked: Vec<usize> =
+            runnable.iter().copied().filter(|&t| st.threads[t].blocked.is_none()).collect();
+        if !nonblocked.is_empty() {
+            let self_enabled = st.threads[tid].blocked.is_none();
+            let mut c = Vec::with_capacity(nonblocked.len());
+            if self_enabled {
+                c.push(tid);
+                let budget_left = st.config.preemption_bound.map_or(true, |b| st.preemptions < b);
+                if budget_left {
+                    c.extend(nonblocked.iter().copied().filter(|&t| t != tid));
+                }
+            } else {
+                c.extend(nonblocked.iter().copied());
+            }
+            break c;
+        }
+        // Everybody is blocked. Internal cycle (every blocker is a model-owned mutex or a
+        // join on a live model thread) ⇒ deadlock; otherwise retry after a real-time nap.
+        let internal = runnable.iter().all(|&t| match st.threads[t].blocked {
+            Some(BlockReason::Join(_)) => true,
+            Some(BlockReason::Mutex(addr)) => st.mutex_owners.contains_key(&addr),
+            None => unreachable!(),
+        });
+        if internal {
+            let detail: Vec<String> = runnable
+                .iter()
+                .map(|&t| format!("thread {t} blocked on {:?}", st.threads[t].blocked.unwrap()))
+                .collect();
+            fail_run(rt, st, format!("deadlock: {}", detail.join("; ")));
+        }
+        external_waits += 1;
+        if external_waits > 4000 {
+            fail_run(rt, st, "model run stuck >2s waiting on an externally held lock".into());
+        }
+        drop(st);
+        std::thread::sleep(Duration::from_micros(500));
+        st = lock(rt);
+        if st.abort {
+            drop(st);
+            raise_abort();
+        }
+        // Let every waiter re-poll its condition (the external holder may have released).
+        unblock_all(&mut st);
+    };
+
+    let pick = decide(&mut st, candidates.len());
+    let next = candidates[pick];
+    let self_enabled = st.threads[tid].blocked.is_none();
+    if next != tid {
+        if self_enabled {
+            st.preemptions += 1;
+        }
+        st.active = Some(next);
+        rt.cv.notify_all();
+        st = wait_for_token(rt, st, tid);
+    }
+    // Granted (possibly immediately): clear our block flag — being scheduled means we get
+    // to re-poll whatever we were waiting for.
+    st.threads[tid].blocked = None;
+}
+
+fn wait_for_token<'a>(
+    rt: &'static Runtime,
+    mut st: StdMutexGuard<'a, RunState>,
+    tid: usize,
+) -> StdMutexGuard<'a, RunState> {
+    loop {
+        if st.abort {
+            drop(st);
+            raise_abort();
+        }
+        if st.active == Some(tid) {
+            return st;
+        }
+        st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn on_thread_exit(tid: usize, panic_msg: Option<String>) {
+    let rt = runtime();
+    let mut st = lock(rt);
+    st.threads[tid].status = Status::Finished;
+    st.threads[tid].blocked = None;
+    if let Some(m) = panic_msg {
+        if st.failure.is_none() {
+            st.failure = Some(m);
+        }
+        st.abort = true;
+    }
+    unblock_all(&mut st);
+    if st.abort {
+        st.active = None;
+        rt.cv.notify_all();
+        return;
+    }
+    if st.active == Some(tid) {
+        let runnable: Vec<usize> =
+            (0..st.threads.len()).filter(|&t| st.threads[t].status == Status::Runnable).collect();
+        if runnable.is_empty() {
+            st.active = None; // run complete; wake the controller
+        } else {
+            // Forced switch (the exiting thread cannot continue): free, but still a
+            // decision point when several successors are possible.
+            let pick = decide(&mut st, runnable.len());
+            st.active = Some(runnable[pick]);
+        }
+    }
+    rt.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------------------
+// Thread spawning / joining inside a run
+// ---------------------------------------------------------------------------------------
+
+/// Handle to a thread spawned with [`spawn`] inside a model run.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (as a model scheduling point) until the thread finishes and returns its
+    /// result. If the child panicked the whole run is already failing; this unwinds the
+    /// caller into the run teardown.
+    pub fn join(self) -> T {
+        let rt = runtime();
+        loop {
+            {
+                let st = lock(rt);
+                if st.threads[self.tid].status == Status::Finished {
+                    break;
+                }
+            }
+            schedule_point(Some(BlockReason::Join(self.tid)));
+        }
+        match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => v,
+            None => raise_abort(), // child panicked; failure already recorded
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    if payload.is::<ModelAbort>() {
+        None
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        Some(s.clone())
+    } else {
+        Some("model thread panicked with a non-string payload".to_string())
+    }
+}
+
+fn enter_thread<T, F: FnOnce() -> T>(tid: usize, result: &Arc<StdMutex<Option<T>>>, f: F) {
+    MODEL_TID.with(|t| t.set(Some(tid)));
+    let rt = runtime();
+    // Wait to be scheduled for the first time (thread 0 is granted by the controller).
+    {
+        let st = lock(rt);
+        let st = wait_for_token_or_exit(rt, st, tid);
+        match st {
+            Ok(_guard) => {}
+            Err(()) => {
+                // Run aborted before we ever ran.
+                on_thread_exit(tid, None);
+                MODEL_TID.with(|t| t.set(None));
+                return;
+            }
+        }
+    }
+    let out = panic::catch_unwind(AssertUnwindSafe(f));
+    match out {
+        Ok(v) => {
+            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            on_thread_exit(tid, None);
+        }
+        Err(p) => on_thread_exit(tid, panic_message(p.as_ref())),
+    }
+    // The thread is no longer part of the run: facade operations in thread-local
+    // destructors that fire after this point (e.g. an EBR local handle flushing its bag)
+    // must go straight to the real primitives, not re-enter the dead scheduler. Mutual
+    // exclusion still holds — the facade mutex is backed by a real lock in both modes.
+    MODEL_TID.with(|t| t.set(None));
+}
+
+fn wait_for_token_or_exit<'a>(
+    rt: &'static Runtime,
+    mut st: StdMutexGuard<'a, RunState>,
+    tid: usize,
+) -> Result<StdMutexGuard<'a, RunState>, ()> {
+    loop {
+        if st.abort {
+            return Err(());
+        }
+        if st.active == Some(tid) {
+            return Ok(st);
+        }
+        st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Starts a new thread inside the current model run. Must be called from a model thread.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    assert!(active_model_thread(), "model::spawn must be called from inside a model run");
+    let rt = runtime();
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let r2 = result.clone();
+    let tid = {
+        let mut st = lock(rt);
+        st.threads.push(ThreadState::new());
+        st.threads.len() - 1
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("vcas-model-{tid}"))
+        .spawn(move || enter_thread(tid, &r2, f))
+        .expect("failed to spawn model thread");
+    lock(rt).handles.push(handle);
+    JoinHandle { tid, result }
+}
+
+// ---------------------------------------------------------------------------------------
+// The (optional) weak-memory machinery
+// ---------------------------------------------------------------------------------------
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Returns the location history for `addr`, resetting it when the underlying atomic's
+/// real value no longer matches the newest recorded entry (address reuse: a dead atomic's
+/// storage got reallocated for a fresh one).
+fn location<'a>(st: &'a mut RunState, addr: usize, real: u64) -> &'a mut Vec<Entry> {
+    let loc = st.mem.entry(addr).or_insert_with(|| vec![Entry { value: real, view: None }]);
+    if loc.last().map(|e| e.value) != Some(real) {
+        *loc = vec![Entry { value: real, view: None }];
+    }
+    loc
+}
+
+fn merge_view(into: &mut HashMap<usize, usize>, from: &HashMap<usize, usize>) {
+    for (&k, &v) in from {
+        let e = into.entry(k).or_insert(0);
+        *e = (*e).max(v);
+    }
+}
+
+fn model_load(st: &mut RunState, tid: usize, addr: usize, real: u64, ord: Ordering) -> u64 {
+    let weak = st.config.weak_memory && ord != Ordering::SeqCst;
+    let max_stale = st.config.max_stale.max(1);
+    let len = location(st, addr, real).len();
+    let lo = st.threads[tid].view.get(&addr).copied().unwrap_or(0).min(len - 1);
+    let idx = if !weak {
+        len - 1
+    } else {
+        let first = lo.max(len.saturating_sub(max_stale));
+        // Choice 0 = the newest entry, so the first DFS path is the SC execution.
+        let c = decide(st, len - first);
+        len - 1 - c
+    };
+    let (value, release_view) = {
+        let e = &st.mem[&addr][idx];
+        (e.value, if is_acquire(ord) { e.view.clone() } else { None })
+    };
+    let view = &mut st.threads[tid].view;
+    let slot = view.entry(addr).or_insert(0);
+    *slot = (*slot).max(idx);
+    if let Some(rv) = release_view {
+        merge_view(view, &rv);
+    }
+    value
+}
+
+fn model_write(st: &mut RunState, tid: usize, addr: usize, val: u64, ord: Ordering) {
+    let loc = st.mem.get_mut(&addr).expect("location must exist");
+    loc.push(Entry { value: val, view: None });
+    let idx = loc.len() - 1;
+    st.threads[tid].view.insert(addr, idx);
+    if is_release(ord) {
+        let snapshot = st.threads[tid].view.clone();
+        st.mem.get_mut(&addr).expect("location must exist")[idx].view = Some(snapshot);
+    }
+}
+
+/// Reads the newest entry (RMWs and CAS always operate on the latest value in
+/// modification order, per C11), applying acquire semantics of `ord`.
+fn model_read_latest(st: &mut RunState, tid: usize, addr: usize, real: u64, ord: Ordering) -> u64 {
+    let len = location(st, addr, real).len();
+    let idx = len - 1;
+    let (value, release_view) = {
+        let e = &st.mem[&addr][idx];
+        (e.value, if is_acquire(ord) { e.view.clone() } else { None })
+    };
+    let view = &mut st.threads[tid].view;
+    let slot = view.entry(addr).or_insert(0);
+    *slot = (*slot).max(idx);
+    if let Some(rv) = release_view {
+        merge_view(view, &rv);
+    }
+    value
+}
+
+// ---------------------------------------------------------------------------------------
+// Facade entry points (used by the wrapper types in `types.rs`)
+// ---------------------------------------------------------------------------------------
+
+pub(crate) fn atomic_load(inner: &std::sync::atomic::AtomicU64, ord: Ordering) -> u64 {
+    schedule_point(None);
+    let real = inner.load(Ordering::SeqCst);
+    let rt = runtime();
+    let mut st = lock(rt);
+    let tid = cur_tid();
+    model_load(&mut st, tid, inner as *const _ as usize, real, ord)
+}
+
+pub(crate) fn atomic_store(inner: &std::sync::atomic::AtomicU64, val: u64, ord: Ordering) {
+    schedule_point(None);
+    let real = inner.load(Ordering::SeqCst);
+    let rt = runtime();
+    let mut st = lock(rt);
+    let tid = cur_tid();
+    let addr = inner as *const _ as usize;
+    location(&mut st, addr, real);
+    model_write(&mut st, tid, addr, val, ord);
+    inner.store(val, Ordering::SeqCst); // write-through: real state tracks mod order
+}
+
+pub(crate) fn atomic_rmw(
+    inner: &std::sync::atomic::AtomicU64,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    schedule_point(None);
+    let real = inner.load(Ordering::SeqCst);
+    let rt = runtime();
+    let mut st = lock(rt);
+    let tid = cur_tid();
+    let addr = inner as *const _ as usize;
+    let old = model_read_latest(&mut st, tid, addr, real, ord);
+    let new = f(old);
+    model_write(&mut st, tid, addr, new, ord);
+    inner.store(new, Ordering::SeqCst);
+    old
+}
+
+pub(crate) fn atomic_cas(
+    inner: &std::sync::atomic::AtomicU64,
+    current: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    schedule_point(None);
+    let real = inner.load(Ordering::SeqCst);
+    let rt = runtime();
+    let mut st = lock(rt);
+    let tid = cur_tid();
+    let addr = inner as *const _ as usize;
+    let latest = { location(&mut st, addr, real).last().map(|e| e.value).unwrap() };
+    if latest == current {
+        let old = model_read_latest(&mut st, tid, addr, real, success);
+        model_write(&mut st, tid, addr, new, success);
+        inner.store(new, Ordering::SeqCst);
+        Ok(old)
+    } else {
+        Err(model_read_latest(&mut st, tid, addr, real, failure))
+    }
+}
+
+/// Fences are scheduling points only: the weak-memory approximation does not model
+/// fence-based publication (see module docs).
+pub(crate) fn fence_op(_ord: Ordering) {
+    schedule_point(None);
+}
+
+/// A plain scheduling point (used before mutex acquisition).
+pub(crate) fn yield_point() {
+    schedule_point(None);
+}
+
+/// Records that the calling model thread now owns the facade mutex at `addr`.
+pub(crate) fn mutex_acquired(addr: usize) {
+    let rt = runtime();
+    let mut st = lock(rt);
+    let tid = cur_tid();
+    st.mutex_owners.insert(addr, tid);
+}
+
+/// Blocked yield while the facade mutex at `addr` is contended.
+pub(crate) fn mutex_blocked(addr: usize) {
+    schedule_point(Some(BlockReason::Mutex(addr)));
+}
+
+/// Mutex release: a model-visible unblock event plus a scheduling point, so lock handoff
+/// orders are explored. Called after the real lock is already released.
+pub(crate) fn mutex_released(addr: usize) {
+    let rt = runtime();
+    {
+        let mut st = lock(rt);
+        st.mutex_owners.remove(&addr);
+        unblock_all(&mut st);
+    }
+    if !IN_ABORT.with(|a| a.get()) {
+        schedule_point(None);
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Run drivers
+// ---------------------------------------------------------------------------------------
+
+struct RunOutcome {
+    failure: Option<String>,
+    pruned: bool,
+    schedule: Vec<u32>,
+}
+
+fn run_once(rt: &'static Runtime, f: Arc<dyn Fn() + Send + Sync>) -> RunOutcome {
+    let result: Arc<StdMutex<Option<()>>> = Arc::new(StdMutex::new(None));
+    {
+        let mut st = lock(rt);
+        st.threads.clear();
+        st.threads.push(ThreadState::new());
+        st.mem.clear();
+        st.mutex_owners.clear();
+        st.cursor = 0;
+        st.steps = 0;
+        st.preemptions = 0;
+        st.failure = None;
+        st.abort = false;
+        st.pruned_run = false;
+        st.active = Some(0);
+    }
+    let r2 = result.clone();
+    let root = std::thread::Builder::new()
+        .name("vcas-model-0".to_string())
+        .spawn(move || enter_thread(0, &r2, move || f()))
+        .expect("failed to spawn model root thread");
+    // Wait for every model thread (root + any it spawned) to finish.
+    {
+        let mut st = lock(rt);
+        while !st.all_finished() {
+            st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let handles: Vec<_> = lock(rt).handles.drain(..).collect();
+    let _ = root.join();
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = lock(rt);
+    RunOutcome {
+        failure: st.failure.take(),
+        pruned: st.pruned_run,
+        schedule: st.decisions.iter().map(|d| d.chosen).collect(),
+    }
+}
+
+fn setup(config: &Config, mode: Mode, seed: u64) {
+    let rt = runtime();
+    let mut st = lock(rt);
+    st.config = config.clone();
+    st.mode = mode;
+    st.rng = Lcg::new(seed);
+    st.decisions.clear();
+}
+
+/// Enumerates schedules of `f` by bounded DFS until a violation, the budget, or
+/// exhaustion of the (preemption-bounded) schedule space.
+pub fn explore(config: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    install_panic_hook();
+    let _serial = model_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let rt = runtime();
+    setup(&config, Mode::Dfs, 0);
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let start = Instant::now();
+    let mut schedules = 0usize;
+    let mut pruned = 0usize;
+    loop {
+        let out = run_once(rt, f.clone());
+        schedules += 1;
+        if out.pruned {
+            pruned += 1;
+        }
+        if let Some(message) = out.failure {
+            return Report {
+                schedules,
+                pruned,
+                exhausted: false,
+                violation: Some(Violation { message, schedule: out.schedule, seed: None }),
+            };
+        }
+        // Backtrack: drop exhausted suffix decisions, bump the deepest one with an
+        // untried alternative, and re-run with that prefix.
+        let mut st = lock(rt);
+        while let Some(last) = st.decisions.last() {
+            if last.chosen + 1 < last.alternatives {
+                break;
+            }
+            st.decisions.pop();
+        }
+        match st.decisions.last_mut() {
+            None => return Report { schedules, pruned, exhausted: true, violation: None },
+            Some(last) => last.chosen += 1,
+        }
+        drop(st);
+        if schedules >= config.max_schedules {
+            return Report { schedules, pruned, exhausted: false, violation: None };
+        }
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() > budget {
+                return Report { schedules, pruned, exhausted: false, violation: None };
+            }
+        }
+    }
+}
+
+/// Runs `runs` randomly scheduled executions of `f`, derived from `seed` (each run gets
+/// `seed + run_index`). On failure the report carries the exact per-run seed.
+pub fn stress(
+    config: Config,
+    seed: u64,
+    runs: usize,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Report {
+    install_panic_hook();
+    let _serial = model_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let rt = runtime();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let start = Instant::now();
+    let mut pruned = 0usize;
+    for i in 0..runs {
+        let run_seed = seed.wrapping_add(i as u64);
+        setup(&config, Mode::Stress, run_seed);
+        let out = run_once(rt, f.clone());
+        if out.pruned {
+            pruned += 1;
+        }
+        if let Some(message) = out.failure {
+            return Report {
+                schedules: i + 1,
+                pruned,
+                exhausted: false,
+                violation: Some(Violation {
+                    message,
+                    schedule: out.schedule,
+                    seed: Some(run_seed),
+                }),
+            };
+        }
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() > budget {
+                return Report { schedules: i + 1, pruned, exhausted: false, violation: None };
+            }
+        }
+    }
+    Report { schedules: runs, pruned, exhausted: false, violation: None }
+}
+
+/// Re-executes one recorded schedule (from [`Violation::schedule`]).
+pub fn replay(config: Config, schedule: &[u32], f: impl Fn() + Send + Sync + 'static) -> Report {
+    install_panic_hook();
+    let _serial = model_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let rt = runtime();
+    setup(&config, Mode::Replay, 0);
+    {
+        let mut st = lock(rt);
+        st.decisions = schedule.iter().map(|&c| Decision { chosen: c, alternatives: 0 }).collect();
+    }
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let out = run_once(rt, f);
+    Report {
+        schedules: 1,
+        pruned: out.pruned as usize,
+        exhausted: false,
+        violation: out.failure.map(|message| Violation {
+            message,
+            schedule: out.schedule,
+            seed: None,
+        }),
+    }
+}

@@ -1,0 +1,151 @@
+//! Self-tests of the model checker itself (compiled only under `--cfg vcas_model`).
+
+use crate::model::{self, Config};
+use crate::{AtomicU64, Mutex, Ordering};
+use std::sync::Arc;
+
+fn small() -> Config {
+    Config { max_schedules: 20_000, ..Config::default() }
+}
+
+/// The classic lost update: two unsynchronized load-then-store increments. The DFS must
+/// find the interleaving where one increment is lost.
+#[test]
+fn finds_lost_update() {
+    let report = model::explore(small(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let (c1, c2) = (c.clone(), c.clone());
+        let t1 = model::spawn(move || {
+            let v = c1.load(Ordering::SeqCst);
+            c1.store(v + 1, Ordering::SeqCst);
+        });
+        let t2 = model::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(report.found_violation(), "DFS missed the lost-update interleaving: {report}");
+    let v = report.violation.unwrap();
+    assert!(v.message.contains("lost update"), "unexpected failure: {}", v.message);
+
+    // The recorded schedule must reproduce the failure deterministically.
+    let replayed = model::replay(small(), &v.schedule, || {
+        let c = Arc::new(AtomicU64::new(0));
+        let (c1, c2) = (c.clone(), c.clone());
+        let t1 = model::spawn(move || {
+            let v = c1.load(Ordering::SeqCst);
+            c1.store(v + 1, Ordering::SeqCst);
+        });
+        let t2 = model::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(replayed.found_violation(), "replay of a failing schedule must fail");
+}
+
+/// Atomic RMW increments never lose updates; the DFS must exhaust the space cleanly.
+#[test]
+fn fetch_add_is_atomic() {
+    let report = model::explore(small(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let (c1, c2) = (c.clone(), c.clone());
+        let t1 = model::spawn(move || c1.fetch_add(1, Ordering::SeqCst));
+        let t2 = model::spawn(move || c2.fetch_add(1, Ordering::SeqCst));
+        t1.join();
+        t2.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    report.assert_no_violation("fetch_add_is_atomic");
+    assert!(report.exhausted, "space not exhausted: {report}");
+}
+
+/// Mutual exclusion through the facade mutex: the critical section never interleaves.
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    let report = model::explore(small(), || {
+        let m = Arc::new(Mutex::new((0u64, 0u64)));
+        let (m1, m2) = (m.clone(), m.clone());
+        let t1 = model::spawn(move || {
+            let mut g = m1.lock();
+            g.0 += 1;
+            g.1 += 1;
+        });
+        let t2 = model::spawn(move || {
+            let mut g = m2.lock();
+            g.0 += 1;
+            g.1 += 1;
+        });
+        t1.join();
+        t2.join();
+        let g = m.lock();
+        assert_eq!((g.0, g.1), (2, 2));
+    });
+    report.assert_no_violation("mutex_provides_mutual_exclusion");
+    assert!(report.exhausted, "space not exhausted: {report}");
+}
+
+/// Release/acquire message passing is safe even under the weak-memory model, while a
+/// fully relaxed flag store lets the reader see stale data.
+#[test]
+fn weak_memory_distinguishes_release_from_relaxed() {
+    let weak = Config { weak_memory: true, ..small() };
+
+    let harness = |flag_order: Ordering| {
+        move || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let (d1, f1) = (data.clone(), flag.clone());
+            let w = model::spawn(move || {
+                d1.store(42, Ordering::Relaxed);
+                f1.store(1, flag_order);
+            });
+            let (d2, f2) = (data, flag);
+            let r = model::spawn(move || {
+                if f2.load(Ordering::Acquire) == 1 {
+                    assert_eq!(d2.load(Ordering::Relaxed), 42, "stale read after acquire");
+                }
+            });
+            w.join();
+            r.join();
+        }
+    };
+
+    let good = model::explore(weak.clone(), harness(Ordering::Release));
+    good.assert_no_violation("release publication");
+    assert!(good.exhausted, "space not exhausted: {good}");
+
+    let bad = model::explore(weak, harness(Ordering::Relaxed));
+    assert!(bad.found_violation(), "relaxed publication must be caught: {bad}");
+}
+
+/// Seeded stress schedules are reproducible: the same seed finds the same failure.
+#[test]
+fn stress_is_seed_reproducible() {
+    let body = || {
+        let c = Arc::new(AtomicU64::new(0));
+        let (c1, c2) = (c.clone(), c.clone());
+        let t1 = model::spawn(move || {
+            let v = c1.load(Ordering::SeqCst);
+            c1.store(v + 1, Ordering::SeqCst);
+        });
+        let t2 = model::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let first = model::stress(small(), 0xC0FFEE, 256, body);
+    assert!(first.found_violation(), "256 random schedules should hit the lost update");
+    let seed = first.violation.as_ref().unwrap().seed.unwrap();
+    let again = model::stress(small(), seed, 1, body);
+    assert!(again.found_violation(), "re-running seed {seed} must reproduce the failure");
+}

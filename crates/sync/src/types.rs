@@ -1,0 +1,402 @@
+//! Facade wrapper types used when the crate is compiled with `--cfg vcas_model`.
+//!
+//! Each wrapper stores a real `std::sync::atomic::AtomicU64` (values of `usize` and
+//! `bool` are widened) and forwards to it directly on non-model threads. On model
+//! threads every operation first passes a scheduling point and is then interpreted
+//! against the model's per-location history, with the result written through to the
+//! real atomic so that real and modeled state never diverge (see [`crate::model`]).
+
+use crate::model;
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::atomic::Ordering;
+
+/// Model-aware drop-in for `std::sync::atomic::AtomicU64`.
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    inner: StdAtomicU64,
+}
+
+impl AtomicU64 {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: u64) -> Self {
+        AtomicU64 { inner: StdAtomicU64::new(v) }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::load`].
+    pub fn load(&self, order: Ordering) -> u64 {
+        if model::active_model_thread() {
+            model::atomic_load(&self.inner, order)
+        } else {
+            self.inner.load(order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::store`].
+    pub fn store(&self, val: u64, order: Ordering) {
+        if model::active_model_thread() {
+            model::atomic_store(&self.inner, val, order)
+        } else {
+            self.inner.store(val, order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::swap`].
+    pub fn swap(&self, val: u64, order: Ordering) -> u64 {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |_| val)
+        } else {
+            self.inner.swap(val, order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::compare_exchange`].
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        if model::active_model_thread() {
+            model::atomic_cas(&self.inner, current, new, success, failure)
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::compare_exchange_weak`] (never fails
+    /// spuriously under the model).
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::fetch_add`].
+    pub fn fetch_add(&self, val: u64, order: Ordering) -> u64 {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old.wrapping_add(val))
+        } else {
+            self.inner.fetch_add(val, order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::fetch_sub`].
+    pub fn fetch_sub(&self, val: u64, order: Ordering) -> u64 {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old.wrapping_sub(val))
+        } else {
+            self.inner.fetch_sub(val, order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::fetch_or`].
+    pub fn fetch_or(&self, val: u64, order: Ordering) -> u64 {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old | val)
+        } else {
+            self.inner.fetch_or(val, order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::fetch_and`].
+    pub fn fetch_and(&self, val: u64, order: Ordering) -> u64 {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old & val)
+        } else {
+            self.inner.fetch_and(val, order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicU64::fetch_max`].
+    pub fn fetch_max(&self, val: u64, order: Ordering) -> u64 {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old.max(val))
+        } else {
+            self.inner.fetch_max(val, order)
+        }
+    }
+}
+
+/// Model-aware drop-in for `std::sync::atomic::AtomicUsize` (stored widened to 64 bits).
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    inner: StdAtomicU64,
+}
+
+impl AtomicUsize {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: usize) -> Self {
+        AtomicUsize { inner: StdAtomicU64::new(v as u64) }
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::load`].
+    pub fn load(&self, order: Ordering) -> usize {
+        if model::active_model_thread() {
+            model::atomic_load(&self.inner, order) as usize
+        } else {
+            self.inner.load(order) as usize
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::store`].
+    pub fn store(&self, val: usize, order: Ordering) {
+        if model::active_model_thread() {
+            model::atomic_store(&self.inner, val as u64, order)
+        } else {
+            self.inner.store(val as u64, order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::swap`].
+    pub fn swap(&self, val: usize, order: Ordering) -> usize {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |_| val as u64) as usize
+        } else {
+            self.inner.swap(val as u64, order) as usize
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::compare_exchange`].
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        if model::active_model_thread() {
+            model::atomic_cas(&self.inner, current as u64, new as u64, success, failure)
+                .map(|v| v as usize)
+                .map_err(|v| v as usize)
+        } else {
+            self.inner
+                .compare_exchange(current as u64, new as u64, success, failure)
+                .map(|v| v as usize)
+                .map_err(|v| v as usize)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::compare_exchange_weak`] (never fails
+    /// spuriously under the model).
+    pub fn compare_exchange_weak(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::fetch_add`].
+    pub fn fetch_add(&self, val: usize, order: Ordering) -> usize {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old.wrapping_add(val as u64)) as usize
+        } else {
+            self.inner.fetch_add(val as u64, order) as usize
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::fetch_sub`].
+    pub fn fetch_sub(&self, val: usize, order: Ordering) -> usize {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old.wrapping_sub(val as u64)) as usize
+        } else {
+            self.inner.fetch_sub(val as u64, order) as usize
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::fetch_or`].
+    pub fn fetch_or(&self, val: usize, order: Ordering) -> usize {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old | val as u64) as usize
+        } else {
+            self.inner.fetch_or(val as u64, order) as usize
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicUsize::fetch_and`].
+    pub fn fetch_and(&self, val: usize, order: Ordering) -> usize {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |old| old & val as u64) as usize
+        } else {
+            self.inner.fetch_and(val as u64, order) as usize
+        }
+    }
+}
+
+/// Model-aware drop-in for `std::sync::atomic::AtomicBool` (stored widened to 64 bits).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: StdAtomicU64,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        AtomicBool { inner: StdAtomicU64::new(v as u64) }
+    }
+
+    /// See [`std::sync::atomic::AtomicBool::load`].
+    pub fn load(&self, order: Ordering) -> bool {
+        if model::active_model_thread() {
+            model::atomic_load(&self.inner, order) != 0
+        } else {
+            self.inner.load(order) != 0
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicBool::store`].
+    pub fn store(&self, val: bool, order: Ordering) {
+        if model::active_model_thread() {
+            model::atomic_store(&self.inner, val as u64, order)
+        } else {
+            self.inner.store(val as u64, order)
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicBool::swap`].
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        if model::active_model_thread() {
+            model::atomic_rmw(&self.inner, order, |_| val as u64) != 0
+        } else {
+            self.inner.swap(val as u64, order) != 0
+        }
+    }
+
+    /// See [`std::sync::atomic::AtomicBool::compare_exchange`].
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        if model::active_model_thread() {
+            model::atomic_cas(&self.inner, current as u64, new as u64, success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+        } else {
+            self.inner
+                .compare_exchange(current as u64, new as u64, success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+        }
+    }
+}
+
+/// Model-aware drop-in for `std::sync::atomic::fence`: a scheduling point on model
+/// threads, the real fence otherwise. The weak-memory approximation does not model
+/// fence-based publication (see [`crate::model`]).
+pub fn fence(order: Ordering) {
+    if model::active_model_thread() {
+        model::fence_op(order);
+    } else {
+        std::sync::atomic::fence(order);
+    }
+}
+
+/// Model-aware drop-in for `parking_lot::Mutex`.
+///
+/// On model threads acquisition is a scheduling point and contention is resolved by a
+/// cooperative `try_lock` + blocked-yield loop, so a model thread never OS-blocks while
+/// it holds the scheduler token (which would freeze the whole run); release is a
+/// model-visible unblock event.
+pub struct Mutex<T> {
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: parking_lot::Mutex::new(value) }
+    }
+
+    /// Acquires the mutex (see [`parking_lot::Mutex::lock`]).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if !model::active_model_thread() {
+            return MutexGuard { inner: Some(self.inner.lock()), key: None };
+        }
+        let key = self as *const _ as usize;
+        model::yield_point(); // the acquisition itself is a scheduling point
+        loop {
+            if let Some(g) = self.inner.try_lock() {
+                model::mutex_acquired(key);
+                return MutexGuard { inner: Some(g), key: Some(key) };
+            }
+            model::mutex_blocked(key);
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if !model::active_model_thread() {
+            return self.inner.try_lock().map(|g| MutexGuard { inner: Some(g), key: None });
+        }
+        let key = self as *const _ as usize;
+        model::yield_point();
+        self.inner.try_lock().map(|g| {
+            model::mutex_acquired(key);
+            MutexGuard { inner: Some(g), key: Some(key) }
+        })
+    }
+
+    /// Returns a mutable reference to the protected value (`&mut self` proves
+    /// exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Mutex { .. }")
+    }
+}
+
+/// Guard returned by [`Mutex::lock`] / [`Mutex::try_lock`].
+pub struct MutexGuard<'a, T> {
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+    /// `Some(mutex address)` when acquired by a model thread: release must be reported
+    /// to the scheduler.
+    key: Option<usize>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let key = self.key.take();
+        drop(self.inner.take()); // release the real lock first
+        if let Some(k) = key {
+            model::mutex_released(k);
+        }
+    }
+}
