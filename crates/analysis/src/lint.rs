@@ -19,16 +19,168 @@ const PROTOCOL_FILES: &[&str] = &[
     "crates/core/src/versioned_ptr.rs",
     "crates/core/src/camera.rs",
     "crates/core/src/reclaim.rs",
+    "crates/structures/src/bst.rs",
+    "crates/structures/src/list.rs",
+    "crates/structures/src/skiplist.rs",
+    "crates/structures/src/hashmap.rs",
+    "crates/structures/src/queue.rs",
+    "crates/structures/src/cache.rs",
 ];
 const PROTOCOL_PREFIX: &str = "crates/ebr/src/";
 
 /// Directory prefixes whose files must route all synchronization through `vcas_sync`.
-const FACADE_ONLY_PREFIXES: &[&str] = &["crates/core/src/", "crates/ebr/src/"];
+const FACADE_ONLY_PREFIXES: &[&str] =
+    &["crates/core/src/", "crates/ebr/src/", "crates/structures/src/"];
+/// Files exempt from the facade rule: the lock-based baselines deliberately use
+/// `parking_lot` primitives as the paper's comparison points, and are never model-checked.
+const FACADE_EXEMPT_FILES: &[&str] = &["crates/structures/src/baselines.rs"];
 const FORBIDDEN_IMPORTS: &[&str] = &["std::sync::atomic", "core::sync::atomic", "parking_lot"];
+
+/// Lint rule identifiers, used to group findings in reports.
+pub const RULES: &[&str] = &["safety-ratchet", "ordering-ledger", "facade", "scan"];
+
+/// A single lint finding, tagged with the rule that produced it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// One of [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable description, usually prefixed `path:line:`.
+    pub message: String,
+}
+
+/// The full result of a lint pass, independent of output format.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Workspace `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Total `unsafe` occurrences found (documented or not).
+    pub unsafe_sites: usize,
+    /// Undocumented sites covered by the allowlist.
+    pub allowlisted: usize,
+    /// Sum of all allowlist entries.
+    pub allowlist_total: usize,
+    /// The ratchet ceiling ([`ALLOWLIST_CEILING`]).
+    pub allowlist_ceiling: usize,
+    /// `Ordering::Relaxed` occurrences in protocol files.
+    pub relaxed_sites: usize,
+    /// Distinct `// ORDERING:` labels encountered, sorted.
+    pub labels_used: Vec<String>,
+    /// Every finding from every rule; empty means the pass is clean.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Whether the pass found nothing to report.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings per rule (rules with zero findings included, for stable reports).
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = RULES.iter().map(|r| (*r, 0)).collect();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Machine-readable report (hand-rolled JSON; the workspace takes no serializer
+    /// dependency). Uploaded as a CI artifact by the analysis jobs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"ok\": {},", self.ok());
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"unsafe_sites\": {},", self.unsafe_sites);
+        let _ = writeln!(s, "  \"allowlisted\": {},", self.allowlisted);
+        let _ = writeln!(s, "  \"allowlist\": {{");
+        let _ = writeln!(s, "    \"total\": {},", self.allowlist_total);
+        let _ = writeln!(s, "    \"ceiling\": {},", self.allowlist_ceiling);
+        let _ = writeln!(
+            s,
+            "    \"headroom\": {}",
+            self.allowlist_ceiling.saturating_sub(self.allowlist_total)
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"relaxed_sites\": {},", self.relaxed_sites);
+        let labels: Vec<String> =
+            self.labels_used.iter().map(|l| format!("\"{}\"", json_escape(l))).collect();
+        let _ = writeln!(s, "  \"ordering_labels\": [{}],", labels.join(", "));
+        let _ = writeln!(s, "  \"findings_by_rule\": {{");
+        let counts = self.rule_counts();
+        let mut first = true;
+        for (rule, n) in &counts {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(s, "    \"{rule}\": {n}");
+        }
+        s.push_str("\n  },\n");
+        let _ = writeln!(s, "  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+                f.rule,
+                json_escape(&f.message)
+            );
+        }
+        s.push_str("  ]\n}");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Runs all rules against the workspace at `root`. `Ok` carries a human-readable
 /// summary, `Err` the full list of findings.
 pub fn run(root: &Path) -> Result<String, String> {
+    let report = analyze(root)?;
+    if report.ok() {
+        let mut s = String::new();
+        let _ = writeln!(s, "vcas-analysis lint: OK");
+        let _ = writeln!(s, "  files scanned:        {}", report.files_scanned);
+        let _ = writeln!(
+            s,
+            "  unsafe sites:         {} ({} allowlisted, rest documented)",
+            report.unsafe_sites, report.allowlisted
+        );
+        let _ = writeln!(
+            s,
+            "  allowlist total:      {} (ceiling {})",
+            report.allowlist_total, report.allowlist_ceiling
+        );
+        let _ = writeln!(s, "  relaxed sites:        {} (all ledgered)", report.relaxed_sites);
+        let _ = write!(s, "  ordering labels used: {}", report.labels_used.len());
+        Ok(s)
+    } else {
+        let mut s = format!("vcas-analysis lint: {} finding(s)\n", report.findings.len());
+        for f in &report.findings {
+            let _ = writeln!(s, "  - [{}] {}", f.rule, f.message);
+        }
+        Err(s)
+    }
+}
+
+/// Runs all rules against the workspace at `root` and returns the structured report.
+/// `Err` only for environmental problems (wrong root, unreadable allowlist).
+pub fn analyze(root: &Path) -> Result<LintReport, String> {
     let files = collect_files(root);
     if files.is_empty() {
         return Err(format!("no .rs files found under {} — wrong --root?", root.display()));
@@ -36,7 +188,7 @@ pub fn run(root: &Path) -> Result<String, String> {
     let allowlist = load_allowlist(root)?;
     let ledger = std::fs::read_to_string(root.join("docs/memory_orderings.md")).ok();
 
-    let mut findings: Vec<String> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
     let mut undocumented: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     let mut unsafe_sites = 0usize;
     let mut relaxed_sites = 0usize;
@@ -46,7 +198,7 @@ pub fn run(root: &Path) -> Result<String, String> {
         let source = match std::fs::read_to_string(root.join(rel)) {
             Ok(s) => s,
             Err(e) => {
-                findings.push(format!("{rel}: unreadable: {e}"));
+                findings.push(Finding { rule: "scan", message: format!("{rel}: unreadable: {e}") });
                 continue;
             }
         };
@@ -77,25 +229,34 @@ pub fn run(root: &Path) -> Result<String, String> {
                 }
                 relaxed_sites += n;
                 match ordering_label(&lines, i) {
-                    None => findings.push(format!(
-                        "{rel}:{}: `Ordering::Relaxed` without an `// ORDERING: <label>` \
-                         justification (same line or comment block above)",
-                        i + 1
-                    )),
+                    None => findings.push(Finding {
+                        rule: "ordering-ledger",
+                        message: format!(
+                            "{rel}:{}: `Ordering::Relaxed` without an `// ORDERING: <label>` \
+                             justification (same line or comment block above)",
+                            i + 1
+                        ),
+                    }),
                     Some(label) => {
                         labels_used.insert(label.clone());
                         match &ledger {
-                            None => findings.push(format!(
-                                "{rel}:{}: ORDERING label `{label}` but docs/memory_orderings.md \
-                                 is missing",
-                                i + 1
-                            )),
-                            Some(text) if !text.contains(&format!("`{label}`")) => {
-                                findings.push(format!(
-                                    "{rel}:{}: ORDERING label `{label}` is not listed (backticked) \
-                                     in docs/memory_orderings.md",
+                            None => findings.push(Finding {
+                                rule: "ordering-ledger",
+                                message: format!(
+                                    "{rel}:{}: ORDERING label `{label}` but \
+                                     docs/memory_orderings.md is missing",
                                     i + 1
-                                ))
+                                ),
+                            }),
+                            Some(text) if !text.contains(&format!("`{label}`")) => {
+                                findings.push(Finding {
+                                    rule: "ordering-ledger",
+                                    message: format!(
+                                        "{rel}:{}: ORDERING label `{label}` is not listed \
+                                         (backticked) in docs/memory_orderings.md",
+                                        i + 1
+                                    ),
+                                })
                             }
                             Some(_) => {}
                         }
@@ -104,16 +265,23 @@ pub fn run(root: &Path) -> Result<String, String> {
             }
         }
 
-        // Rule 3: core/ebr must go through the vcas_sync facade.
-        if FACADE_ONLY_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        // Rule 3: core/ebr/structures must go through the vcas_sync facade (the
+        // lock-based baselines are exempt — see FACADE_EXEMPT_FILES).
+        if FACADE_ONLY_PREFIXES.iter().any(|p| rel.starts_with(p))
+            && !FACADE_EXEMPT_FILES.contains(&rel.as_str())
+        {
             for (i, line) in lines.iter().enumerate() {
                 for forbidden in FORBIDDEN_IMPORTS {
                     if line.code.contains(forbidden) {
-                        findings.push(format!(
-                            "{rel}:{}: direct `{forbidden}` use — import it via the `vcas_sync` \
-                             facade (`crate::sync`) so the model checker can intercept it",
-                            i + 1
-                        ));
+                        findings.push(Finding {
+                            rule: "facade",
+                            message: format!(
+                                "{rel}:{}: direct `{forbidden}` use — import it via the \
+                                 `vcas_sync` facade (`crate::sync`) so the model checker can \
+                                 intercept it",
+                                i + 1
+                            ),
+                        });
                     }
                 }
             }
@@ -126,68 +294,73 @@ pub fn run(root: &Path) -> Result<String, String> {
     for (rel, sites) in &undocumented {
         seen.insert(rel);
         if ZERO_ALLOWLIST_PREFIXES.iter().any(|p| rel.starts_with(p)) {
-            findings.push(format!(
-                "{rel}: {} undocumented `unsafe` site(s) at line(s) {:?} — this crate requires a \
-                 `// SAFETY:` comment on every one (no allowlist)",
-                sites.len(),
-                sites
-            ));
+            findings.push(Finding {
+                rule: "safety-ratchet",
+                message: format!(
+                    "{rel}: {} undocumented `unsafe` site(s) at line(s) {:?} — this crate \
+                     requires a `// SAFETY:` comment on every one (no allowlist)",
+                    sites.len(),
+                    sites
+                ),
+            });
             continue;
         }
         let allowed = allowlist.get(rel).copied().unwrap_or(0);
         allowlisted_total += sites.len().min(allowed);
         match sites.len().cmp(&allowed) {
-            std::cmp::Ordering::Greater => findings.push(format!(
-                "{rel}: {} undocumented `unsafe` site(s), allowlist permits {} — document the new \
-                 site(s) (lines {:?}) rather than growing the allowlist",
-                sites.len(),
-                allowed,
-                sites
-            )),
-            std::cmp::Ordering::Less => findings.push(format!(
-                "{rel}: only {} undocumented `unsafe` site(s) remain but the allowlist still says \
-                 {} — ratchet crates/analysis/unsafe_allowlist.txt down",
-                sites.len(),
-                allowed
-            )),
+            std::cmp::Ordering::Greater => findings.push(Finding {
+                rule: "safety-ratchet",
+                message: format!(
+                    "{rel}: {} undocumented `unsafe` site(s), allowlist permits {} — document \
+                     the new site(s) (lines {:?}) rather than growing the allowlist",
+                    sites.len(),
+                    allowed,
+                    sites
+                ),
+            }),
+            std::cmp::Ordering::Less => findings.push(Finding {
+                rule: "safety-ratchet",
+                message: format!(
+                    "{rel}: only {} undocumented `unsafe` site(s) remain but the allowlist still \
+                     says {} — ratchet crates/analysis/unsafe_allowlist.txt down",
+                    sites.len(),
+                    allowed
+                ),
+            }),
             std::cmp::Ordering::Equal => {}
         }
     }
     for (rel, &allowed) in &allowlist {
         if allowed > 0 && !seen.contains(rel) {
-            findings.push(format!(
-                "{rel}: allowlist still records {allowed} undocumented `unsafe` site(s) but the \
-                 file has none — ratchet crates/analysis/unsafe_allowlist.txt down"
-            ));
+            findings.push(Finding {
+                rule: "safety-ratchet",
+                message: format!(
+                    "{rel}: allowlist still records {allowed} undocumented `unsafe` site(s) but \
+                     the file has none — ratchet crates/analysis/unsafe_allowlist.txt down"
+                ),
+            });
         }
     }
     let allowlist_total: usize = allowlist.values().sum();
     if allowlist_total > ALLOWLIST_CEILING {
-        findings.push(format!(
-            "allowlist total {allowlist_total} exceeds the ratchet ceiling {ALLOWLIST_CEILING}"
-        ));
+        findings.push(Finding {
+            rule: "safety-ratchet",
+            message: format!(
+                "allowlist total {allowlist_total} exceeds the ratchet ceiling {ALLOWLIST_CEILING}"
+            ),
+        });
     }
 
-    if findings.is_empty() {
-        let mut s = String::new();
-        let _ = writeln!(s, "vcas-analysis lint: OK");
-        let _ = writeln!(s, "  files scanned:        {}", files.len());
-        let _ = writeln!(
-            s,
-            "  unsafe sites:         {unsafe_sites} ({allowlisted_total} allowlisted, rest documented)"
-        );
-        let _ =
-            writeln!(s, "  allowlist total:      {allowlist_total} (ceiling {ALLOWLIST_CEILING})");
-        let _ = writeln!(s, "  relaxed sites:        {relaxed_sites} (all ledgered)");
-        let _ = write!(s, "  ordering labels used: {}", labels_used.len());
-        Ok(s)
-    } else {
-        let mut s = format!("vcas-analysis lint: {} finding(s)\n", findings.len());
-        for f in &findings {
-            let _ = writeln!(s, "  - {f}");
-        }
-        Err(s)
-    }
+    Ok(LintReport {
+        files_scanned: files.len(),
+        unsafe_sites,
+        allowlisted: allowlisted_total,
+        allowlist_total,
+        allowlist_ceiling: ALLOWLIST_CEILING,
+        relaxed_sites,
+        labels_used: labels_used.into_iter().collect(),
+        findings,
+    })
 }
 
 fn is_protocol_file(rel: &str) -> bool {

@@ -96,6 +96,10 @@ fn camera_advance_vs_snapshot_read() {
         "camera_advance_vs_snapshot_read: {} schedule(s), {} pruned, exhausted={}",
         report.schedules, report.pruned, report.exhausted
     );
+    assert!(
+        report.exhausted,
+        "camera-advance/snapshot-read must enumerate to completion: {report:?}"
+    );
 }
 
 /// A data node under version-held reference counting (`VersionReferenced`).
@@ -163,6 +167,10 @@ fn refcount_creator_handoff_vs_truncation() {
     println!(
         "refcount_creator_handoff_vs_truncation: {} schedule(s), {} pruned, exhausted={}",
         report.schedules, report.pruned, report.exhausted
+    );
+    assert!(
+        report.exhausted,
+        "creator-handoff/truncation must enumerate to completion: {report:?}"
     );
 }
 

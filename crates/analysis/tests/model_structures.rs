@@ -1,0 +1,139 @@
+//! Deterministic model checks of the *structure* edge protocols (compiled only under
+//! `--cfg vcas_model`; a stock `cargo test` sees an empty binary).
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg vcas_model" \
+//!     cargo test -p vcas-analysis --test model_structures -- --test-threads=1
+//! RUSTFLAGS="--cfg vcas_model --cfg vcas_weaken_mark" \
+//!     cargo test -p vcas-analysis --test model_structures -- --test-threads=1
+//! ```
+//!
+//! Each scenario drives two racing operations of a versioned structure through the
+//! narrowest window of its protocol — the cell both operations must CAS:
+//!
+//! * Harris list: `remove`'s logical-delete mark and `insert`'s publish both target the
+//!   same predecessor's `next` word;
+//! * EFRB BST: `remove`'s mark on the parent's `update` word races `insert`'s iflag on
+//!   the same word, forcing the flag/mark/unflag helping dance;
+//! * skip list: `insert`'s level-0 publish and `remove`'s level-0 mark race on one
+//!   tower cell.
+//!
+//! Stock builds must DFS-exhaust every interleaving cleanly. Under
+//! `--cfg vcas_weaken_mark` each structure treats a *lost* mark CAS as won (a deliberate
+//! protocol mutation, see the `vcas_weaken_mark` sites in crates/structures), and the
+//! checker must catch the resulting lost update with a replayable schedule.
+#![cfg(vcas_model)]
+
+use std::sync::Arc;
+
+use vcas_structures::{HarrisList, Nbbst, VcasSkipList};
+
+use vcas_sync::model::{self, Config, Report};
+
+/// Initializes process-wide singletons (EBR default domain, model panic hook) on the
+/// harness thread, so their one-time setup is not interleaved by the scheduler.
+fn prewarm() {
+    drop(vcas_ebr::pin());
+}
+
+fn cfg() -> Config {
+    Config::from_env()
+}
+
+/// Shared postlude: stock builds must exhaust with no violation; mutated builds
+/// (`--cfg vcas_weaken_mark`) must observe the seeded protocol bug.
+fn check(name: &str, report: Report) {
+    if cfg!(vcas_weaken_mark) {
+        assert!(
+            report.found_violation(),
+            "{name}: the weakened mark CAS must be caught by the model checker: {report:?}"
+        );
+        let v = report.violation.as_ref().unwrap();
+        println!(
+            "{name}: mutation caught as expected: {} (replay schedule: {:?})",
+            v.message, v.schedule
+        );
+    } else {
+        report.assert_no_violation(name);
+        println!(
+            "{name}: {} schedule(s), {} pruned, {} sleep-blocked, exhausted={}",
+            report.schedules, report.pruned, report.sleep_blocked, report.exhausted
+        );
+        assert!(report.exhausted, "{name}: must enumerate to completion: {report:?}");
+    }
+}
+
+/// Harris list: a concurrent mark (logical delete of key 2) vs. insert (of key 3) at
+/// the same predecessor — both CAS node 2's `next` word. In every interleaving both
+/// operations succeed, key 3 survives, and key 2 is gone.
+#[test]
+fn list_mark_vs_insert_same_predecessor() {
+    prewarm();
+    let report = model::explore(cfg(), || {
+        let list = Arc::new(HarrisList::new_versioned_default());
+        // Single-threaded prologue (not interleaved): the node whose `next` word the
+        // racing operations contend on.
+        assert!(list.insert(2, 20));
+        let remover = {
+            let list = list.clone();
+            model::spawn(move || list.remove(2))
+        };
+        let inserted = list.insert(3, 30);
+        let removed = remover.join();
+        assert!(inserted, "insert(3) had no competing key and must succeed");
+        assert!(removed, "remove(2) had no competing remover and must succeed");
+        assert_eq!(list.get(3), Some(30), "insert(3) was lost by the racing remove");
+        assert_eq!(list.get(2), None, "remove(2) reported success but 2 is reachable");
+    });
+    check("list_mark_vs_insert_same_predecessor", report);
+}
+
+/// EFRB BST: `remove(1)`'s dflag/mark races `insert(2)`'s iflag on the same internal
+/// node's `update` word, exercising the flag/mark/unflag helping protocol with a
+/// competing helper. In every interleaving both operations succeed.
+#[test]
+fn bst_insert_delete_helping_dance() {
+    prewarm();
+    let report = model::explore(cfg(), || {
+        let tree = Arc::new(Nbbst::new_versioned_default());
+        // Single-threaded prologue: the leaf both racers' flag words hang over.
+        assert!(tree.insert(1, 10));
+        let remover = {
+            let tree = tree.clone();
+            model::spawn(move || tree.remove(1))
+        };
+        let inserted = tree.insert(2, 20);
+        let removed = remover.join();
+        assert!(inserted, "insert(2) had no competing key and must succeed");
+        assert!(removed, "remove(1) had no competing remover and must succeed");
+        assert_eq!(tree.get(2), Some(20), "insert(2) was spliced out by the racing remove");
+        assert_eq!(tree.get(1), None, "remove(1) reported success but 1 is reachable");
+    });
+    check("bst_insert_delete_helping_dance", report);
+}
+
+/// Skip list: `insert(3)`'s level-0 publish races `remove(2)`'s level-0 mark on the
+/// same tower cell (node 2's level-0 successor word). In every interleaving both
+/// operations succeed, key 3 survives, and key 2 is unreachable.
+#[test]
+fn skiplist_publish_vs_remove_mark_level0() {
+    prewarm();
+    let report = model::explore(cfg(), || {
+        let sl = Arc::new(VcasSkipList::new_versioned_default());
+        // Single-threaded prologue: the node whose level-0 cell the racers contend on.
+        assert!(sl.insert(2, 20));
+        let remover = {
+            let sl = sl.clone();
+            model::spawn(move || sl.remove(2))
+        };
+        let inserted = sl.insert(3, 30);
+        let removed = remover.join();
+        assert!(inserted, "insert(3) had no competing key and must succeed");
+        assert!(removed, "remove(2) had no competing remover and must succeed");
+        assert_eq!(sl.get(3), Some(30), "insert(3) was lost by the racing remove");
+        assert_eq!(sl.get(2), None, "remove(2) reported success but 2 is reachable");
+    });
+    check("skiplist_publish_vs_remove_mark_level0", report);
+}

@@ -1,0 +1,91 @@
+//! Replay regression: a committed violation trace must keep reproducing.
+//!
+//! `fixtures/weaken_publish_violation.schedule` is a schedule captured from a DFS
+//! exploration of the weakened-publication harness (`--cfg vcas_weaken_publish`
+//! downgrades `PUBLISH_CAS_ORDERING` to `Relaxed`; see `tests/mutation.rs`). This test
+//! feeds the committed trace straight into [`model::replay`] — no search — and asserts
+//! the exact failure fires and the replayed step trace equals the fixture byte for
+//! byte. It pins two contracts at once:
+//!
+//! * **schedule-format stability** — `Violation::schedule` stays directly consumable
+//!   by `replay` (the partial-order reduction keeps a *sparse* decision stack
+//!   internally, so this is a real invariant, not a tautology);
+//! * **debuggability** — a schedule printed by a CI failure today can be replayed by a
+//!   developer tomorrow.
+//!
+//! The config is pinned explicitly (not [`Config::from_env`]) so CI budget knobs
+//! cannot invalidate the fixture.
+//!
+//! ```text
+//! RUSTFLAGS="--cfg vcas_model --cfg vcas_weaken_publish" \
+//!     cargo test -p vcas-analysis --test replay_fixture -- --test-threads=1
+//! ```
+#![cfg(all(vcas_model, vcas_weaken_publish))]
+
+use std::sync::Arc;
+
+use vcas_core::sync::{AtomicU64, Ordering};
+use vcas_core::versioned::PUBLISH_CAS_ORDERING;
+use vcas_sync::model::{self, Config};
+
+const FIXTURE: &str = include_str!("fixtures/weaken_publish_violation.schedule");
+
+/// The panic the fixture's schedule must reproduce.
+const EXPECTED_PANIC: &str = "published flag observed but payload is stale";
+
+fn fixture_schedule() -> Vec<u32> {
+    FIXTURE
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .flat_map(|l| l.split_whitespace())
+        .map(|tok| tok.parse().expect("fixture tokens must be u32 decision indices"))
+        .collect()
+}
+
+/// Pinned capture-time config. `weak_memory` + `max_stale` shape the per-load
+/// alternative count, so they are part of the fixture's identity.
+fn config() -> Config {
+    Config { weak_memory: true, max_stale: 4, ..Config::default() }
+}
+
+/// The exact harness the fixture was captured from (`tests/mutation.rs`,
+/// `model_checker_catches_weakened_publication_cas`).
+fn harness() {
+    let payload = Arc::new(AtomicU64::new(0));
+    let slot = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let (payload, slot) = (payload.clone(), slot.clone());
+        model::spawn(move || {
+            payload.store(42, Ordering::Release);
+            let _ = slot.compare_exchange(0, 1, PUBLISH_CAS_ORDERING, Ordering::SeqCst);
+        })
+    };
+    if slot.load(Ordering::Acquire) == 1 {
+        let seen = payload.load(Ordering::Acquire);
+        assert_eq!(seen, 42, "published flag observed but payload is stale");
+    }
+    writer.join();
+}
+
+#[test]
+fn replay_reproduces_committed_violation() {
+    let schedule = fixture_schedule();
+    assert!(!schedule.is_empty(), "fixture must contain a non-empty schedule");
+
+    let report = model::replay(config(), &schedule, harness);
+
+    let v = report
+        .violation
+        .expect("replaying the committed schedule must reproduce the captured violation");
+    assert!(
+        v.message.contains(EXPECTED_PANIC),
+        "replay reproduced a different failure than the fixture's: {}",
+        v.message
+    );
+    assert_eq!(
+        v.schedule, schedule,
+        "replay must retrace exactly the committed steps (schedule format drifted?)"
+    );
+    println!("fixture replayed: {} steps -> {EXPECTED_PANIC:?}", schedule.len());
+}

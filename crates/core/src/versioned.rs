@@ -78,6 +78,25 @@ pub const PUBLISH_CAS_ORDERING: Ordering = Ordering::SeqCst;
 #[cfg(vcas_weaken_publish)]
 pub const PUBLISH_CAS_ORDERING: Ordering = Ordering::Relaxed;
 
+/// Ordering of a standalone *publication fence*: a `fence(Release)` between a data write
+/// and the relaxed store that makes it reachable, the fence-based variant of the
+/// publication idiom above (the paper's C++ artifact publishes version nodes this way;
+/// the Rust port folds the release into the CAS, but the model checker proves both
+/// shapes). A `Release` fence makes every prior store visible to any thread whose later
+/// `Acquire` fence (or acquire load) observes a store sequenced after it.
+///
+/// The `vcas_weaken_fence` cfg downgrades it to `Acquire` — a fence that publishes
+/// nothing — solely for the mutation regression test in
+/// `crates/analysis/tests/mutation.rs` (stock builds never set the cfg; `Relaxed` is not
+/// used because `std::sync::atomic::fence(Relaxed)` panics).
+#[cfg(not(vcas_weaken_fence))]
+pub const PUBLISH_FENCE_ORDERING: Ordering = Ordering::Release;
+/// Mutated (deliberately wrong) publication-fence ordering — see the stock-build docs.
+// ORDERING: mutation-test — test-only deliberate weakening; never compiled into stock
+// builds (guarded by `--cfg vcas_weaken_fence`).
+#[cfg(vcas_weaken_fence)]
+pub const PUBLISH_FENCE_ORDERING: Ordering = Ordering::Acquire;
+
 impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     /// Creates a versioned CAS object holding `initial`, associated with `camera`.
     pub fn new(initial: T, camera: &Arc<Camera>) -> Self {

@@ -257,6 +257,7 @@ impl Nbbst {
 
     /// Number of successful updates (inserts + removes) applied so far.
     pub fn update_count(&self) -> u64 {
+        // ORDERING: diag-counter — monitoring only.
         self.updates.load(Ordering::Relaxed)
     }
 
@@ -265,6 +266,7 @@ impl Nbbst {
     /// [`vcas_core::ReclaimPolicy::Amortized`] policy is installed).
     #[inline]
     fn after_update(&self, guard: &Guard) {
+        // ORDERING: diag-counter — monitoring only.
         self.updates.fetch_add(1, Ordering::Relaxed);
         if let Mode::Versioned(camera) = &self.mode {
             camera.reclaim_tick(guard);
@@ -520,7 +522,12 @@ impl Nbbst {
                 true
             }
             Err(err) => {
-                if err.current == op.with_tag(MARK) {
+                // The `vcas_weaken_mark` disjunct is a deliberate mutation for the
+                // model-checker regression in crates/analysis/tests/model_structures.rs:
+                // it pretends the mark landed even when a competing flag (e.g. an
+                // insert's iflag) holds the parent and splices anyway, losing that
+                // operation (stock builds never set the cfg).
+                if err.current == op.with_tag(MARK) || cfg!(vcas_weaken_mark) {
                     // Another helper already marked on our behalf.
                     self.help_marked(op, guard);
                     true
@@ -730,6 +737,8 @@ impl Collectible for Nbbst {
             stats.completed_cycle = true;
             return stats;
         }
+        // ORDERING: progress-heuristic — the cursor only decides where the next
+        // bounded pass resumes; truncation synchronizes inside the cells.
         let start = self.reclaim_cursor.load(Ordering::Relaxed);
         let budget = budget.max(1);
         let mut stack = vec![Step::Expand(self.root.load(Ordering::SeqCst, guard))];
@@ -757,6 +766,7 @@ impl Collectible for Nbbst {
                 Step::Visit(node) => {
                     let n = unsafe { node.deref() };
                     if stats.cells_visited >= budget {
+                        // ORDERING: progress-heuristic — as above.
                         self.reclaim_cursor.store(n.key, Ordering::Relaxed);
                         return stats;
                     }
@@ -770,6 +780,7 @@ impl Collectible for Nbbst {
                 }
             }
         }
+        // ORDERING: progress-heuristic — as above.
         self.reclaim_cursor.store(0, Ordering::Relaxed);
         stats.completed_cycle = true;
         stats

@@ -13,14 +13,12 @@
 //! address being reused can never alias a stale entry.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
+use vcas_core::sync::{AtomicU64, Mutex, Ordering};
 use vcas_core::{RetentionError, Timestamp};
 
 use crate::queries::{run_query_on_view, HashQueryKind, QueryKind, QueryOutcome};
 use crate::view::SnapshotSource;
-
-use parking_lot::Mutex;
 
 /// Identity of a structure registered with a [`QueryCache`].
 ///
@@ -112,6 +110,8 @@ impl QueryCache {
     /// Call once per structure and reuse the id; registering the same structure twice
     /// yields two ids that never share entries.
     pub fn register_source(&self) -> SourceId {
+        // ORDERING: id-allocator — only atomicity of the fetch_add matters; ids are
+        // handed out, never used to publish data.
         SourceId(self.next_source.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -119,7 +119,9 @@ impl QueryCache {
     pub fn lookup(&self, key: &CacheKey) -> Option<QueryOutcome> {
         let found = self.entries.lock().get(key).copied();
         match found {
+            // ORDERING: diag-counter — monitoring totals only.
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            // ORDERING: diag-counter — as above.
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
@@ -166,6 +168,8 @@ impl QueryCache {
         let before = entries.len();
         entries.retain(|key, _| key.query.oldest_touched(key.ts) >= watermark);
         let evicted = before - entries.len();
+        // ORDERING: diag-counter — monitoring totals only; the retain above runs under
+        // the entries lock, which is what eviction correctness relies on.
         self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
         evicted
     }
@@ -190,16 +194,19 @@ impl QueryCache {
 
     /// Lookups answered from the cache.
     pub fn hits(&self) -> u64 {
+        // ORDERING: diag-counter — best-effort readout.
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that fell through to recomputation.
     pub fn misses(&self) -> u64 {
+        // ORDERING: diag-counter — best-effort readout.
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Entries removed by [`QueryCache::evict_below`] so far.
     pub fn evictions(&self) -> u64 {
+        // ORDERING: diag-counter — best-effort readout.
         self.evictions.load(Ordering::Relaxed)
     }
 

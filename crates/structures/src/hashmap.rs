@@ -14,8 +14,9 @@
 //! expected size and target load factor via [`VcasHashMap::buckets_for`] (the workload
 //! harness's `hashmap` scenario does exactly that).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use vcas_core::sync::{AtomicUsize, Ordering};
 
 use vcas_core::reclaim::{CollectStats, Collectible, VersionStats};
 use vcas_core::{Camera, CameraAttached, PinnedSnapshot, RetentionError, SnapshotHandle};
@@ -336,9 +337,12 @@ impl Collectible for VcasHashMap {
         // Linear sweep: a pass continues from the cursor toward the last bucket; finishing
         // bucket n-1 completes the cycle and wraps the cursor to 0. (A circular pass could
         // never report completion with a budget smaller than the table.)
+        // ORDERING: progress-heuristic — the cursor only decides where the next bounded
+        // pass resumes; truncation itself synchronizes inside the bucket cells.
         let start = self.reclaim_bucket.load(Ordering::Relaxed).min(n - 1);
         for idx in start..n {
             if stats.cells_visited >= budget {
+                // ORDERING: progress-heuristic — as above.
                 self.reclaim_bucket.store(idx, Ordering::Relaxed);
                 return stats;
             }
@@ -351,10 +355,12 @@ impl Collectible for VcasHashMap {
             stats.versions_retired += slice.versions_retired;
             if !slice.completed_cycle {
                 // Ran out of budget inside this bucket; its own cursor resumes there.
+                // ORDERING: progress-heuristic — as above.
                 self.reclaim_bucket.store(idx, Ordering::Relaxed);
                 return stats;
             }
         }
+        // ORDERING: progress-heuristic — as above.
         self.reclaim_bucket.store(0, Ordering::Relaxed);
         stats.completed_cycle = true;
         stats

@@ -187,20 +187,28 @@ impl HarrisList {
         'retry: loop {
             let head = self.head.load(Ordering::SeqCst, guard);
             let mut pred = head;
+            // SAFETY: the head sentinel is allocated in the constructor and never null;
+            // `guard` pins the epoch for the whole traversal.
             let mut curr = unsafe { pred.deref() }.next.load(guard).with_tag(0);
             loop {
                 if curr.is_null() {
                     return (pred, curr);
                 }
+                // SAFETY: `curr` is non-null (checked above) and was read from a next
+                // cell under `guard`, so it cannot be freed while we hold the pin.
                 let curr_ref = unsafe { curr.deref() };
                 let succ = curr_ref.next.load(guard);
                 if succ.tag() == MARK {
                     // `curr` is logically deleted: splice it out before continuing.
+                    // SAFETY: `pred` is the head sentinel or a node previously
+                    // dereferenced in this traversal; both outlive `guard`'s pin.
                     let pred_ref = unsafe { pred.deref() };
                     if !pred_ref.next.compare_exchange(curr, succ.with_tag(0), guard) {
                         continue 'retry;
                     }
                     if self.mode.reclaim_unlinked() {
+                        // SAFETY: we won the unlink CAS, so this thread is the unique
+                        // retirer of `curr`; readers that still see it are pinned.
                         unsafe { guard.defer_destroy(curr) };
                     }
                     curr = succ.with_tag(0);
@@ -222,6 +230,7 @@ impl HarrisList {
         loop {
             crate::backoff(&mut attempts);
             let (pred, curr) = self.search(key, &guard);
+            // SAFETY: non-null is checked first; `curr` came from `search` under `guard`.
             if !curr.is_null() && unsafe { curr.deref() }.key == key {
                 return false;
             }
@@ -230,6 +239,8 @@ impl HarrisList {
             if let Mode::Versioned(camera) = &self.mode {
                 camera.note_nodes_created(1);
             }
+            // SAFETY: `pred` was returned by `search` under `guard` (head sentinel or a
+            // live-at-read node); the pin keeps it allocated.
             let pred_ref = unsafe { pred.deref() };
             if pred_ref.next.compare_exchange(curr, new, &guard) {
                 if let Mode::Versioned(camera) = &self.mode {
@@ -245,6 +256,8 @@ impl HarrisList {
             if let Mode::Versioned(camera) = &self.mode {
                 camera.note_nodes_dropped(1);
             }
+            // SAFETY: the publish CAS failed, so `new` was never shared — this thread
+            // still exclusively owns the allocation.
             unsafe { drop(new.into_owned()) };
         }
     }
@@ -256,23 +269,40 @@ impl HarrisList {
         loop {
             crate::backoff(&mut attempts);
             let (pred, curr) = self.search(key, &guard);
+            // SAFETY: non-null is checked first; `curr` came from `search` under `guard`.
             if curr.is_null() || unsafe { curr.deref() }.key != key {
                 return false;
             }
+            // SAFETY: as above — non-null, and the pin keeps the node allocated.
             let curr_ref = unsafe { curr.deref() };
             let succ = curr_ref.next.load(&guard);
             if succ.tag() == MARK {
                 continue;
             }
             // Logical delete: set the mark bit (the operation's linearization point).
-            if !curr_ref.next.compare_exchange(succ, succ.with_tag(MARK), &guard) {
+            #[cfg(not(vcas_weaken_mark))]
+            let mark_won = curr_ref.next.compare_exchange(succ, succ.with_tag(MARK), &guard);
+            // Deliberate mutation for the model-checker regression in
+            // crates/analysis/tests/model_structures.rs: treat a lost mark CAS as won, so
+            // a concurrent insert into `curr.next` can be silently dropped (stock builds
+            // never set the cfg).
+            #[cfg(vcas_weaken_mark)]
+            let mark_won = {
+                let _ = curr_ref.next.compare_exchange(succ, succ.with_tag(MARK), &guard);
+                true
+            };
+            if !mark_won {
                 continue;
             }
             // Physical unlink (best effort; search() will finish it otherwise).
+            // SAFETY: `pred` was returned by `search` under `guard`; the pin keeps it
+            // allocated.
             let pred_ref = unsafe { pred.deref() };
             if pred_ref.next.compare_exchange(curr, succ.with_tag(0), &guard)
                 && self.mode.reclaim_unlinked()
             {
+                // SAFETY: we marked `curr` and won the unlink CAS, so this thread is its
+                // unique retirer; readers that still see it are pinned.
                 unsafe { guard.defer_destroy(curr) };
             }
             self.after_update(&guard);
@@ -289,7 +319,10 @@ impl HarrisList {
     pub fn get(&self, key: Key) -> Option<Value> {
         let guard = pin();
         let head = self.head.load(Ordering::SeqCst, &guard);
+        // SAFETY: the head sentinel is never null; `guard` pins the epoch.
         let mut curr = unsafe { head.deref() }.next.load(&guard).with_tag(0);
+        // SAFETY: `curr` was read (tag stripped) from a next cell under `guard`; a
+        // reachable-at-read node is not freed while the pin is held.
         while let Some(node) = unsafe { curr.as_ref() } {
             let next = node.next.load(&guard);
             if node.key >= key {
@@ -341,7 +374,11 @@ impl HarrisList {
     /// when `f` returns `false`.
     fn walk(&self, view: View, guard: &Guard, mut f: impl FnMut(Key, Value) -> bool) {
         let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: the head sentinel is never null; `guard` pins the epoch.
         let mut curr = unsafe { head.deref() }.next.load_view(view, guard).with_tag(0);
+        // SAFETY: `curr` came from a (possibly historical) next version read under
+        // `guard`; snapshot pins keep the versions' nodes retained, and the EBR pin
+        // keeps retired ones allocated.
         while let Some(node) = unsafe { curr.as_ref() } {
             let next = node.next.load_view(view, guard);
             if next.tag() != MARK && !f(node.key, node.value) {
@@ -466,9 +503,12 @@ impl HarrisList {
         // Cursor encoding: 0 = fresh sweep (head sentinel first); k+1 = resume at the
         // first node with key >= k (inclusive, so the node the previous pass stalled on —
         // and never collected — is picked up now, guaranteeing forward progress).
+        // ORDERING: progress-heuristic — the cursor only decides where the next
+        // bounded pass resumes; truncation synchronizes inside the cells.
         let cursor = self.reclaim_cursor.load(Ordering::Relaxed);
         let budget = budget.max(1);
         let head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: the head sentinel is never null; `guard` pins the epoch.
         let head_ref = unsafe { head.deref() };
         if cursor == 0 {
             // The head sentinel's next cell is a versioned cell like any other.
@@ -477,6 +517,7 @@ impl HarrisList {
         }
         let resume_min = cursor.saturating_sub(1);
         let mut curr = head_ref.next.load(guard).with_tag(0);
+        // SAFETY: `curr` was read (tag stripped) from a next cell under `guard`.
         while let Some(node) = unsafe { curr.as_ref() } {
             let next = node.next.load(guard);
             if node.key >= resume_min {
@@ -484,6 +525,7 @@ impl HarrisList {
                 // not wrap): a u64::MAX node is simply collected past the budget instead,
                 // overshooting by at most the few such nodes.
                 if stats.cells_visited >= budget && node.key < u64::MAX {
+                    // ORDERING: progress-heuristic — as above.
                     self.reclaim_cursor.store(node.key + 1, Ordering::Relaxed);
                     return stats;
                 }
@@ -492,6 +534,7 @@ impl HarrisList {
             }
             curr = next.with_tag(0);
         }
+        // ORDERING: progress-heuristic — as above.
         self.reclaim_cursor.store(0, Ordering::Relaxed);
         stats.completed_cycle = true;
         stats
@@ -502,6 +545,8 @@ impl HarrisList {
     pub(crate) fn version_stats_walk(&self, guard: &Guard) -> VersionStats {
         let mut stats = VersionStats::default();
         let mut curr = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: the walk only follows next cells read under `guard` starting at the
+        // never-null sentinel; the pin keeps every visited node allocated.
         while let Some(node) = unsafe { curr.with_tag(0).as_ref() } {
             if let NextPtr::Versioned(v) = &node.next {
                 stats.record_cell(v.version_count(guard));
@@ -686,6 +731,8 @@ struct ListRangeIter<'v, 'a> {
 impl<'v, 'a> ListRangeIter<'v, 'a> {
     fn new(view: &'v HarrisListView<'a>, lo: Key, hi: Key) -> ListRangeIter<'v, 'a> {
         let head = view.list.head.load(Ordering::SeqCst, &view.guard);
+        // SAFETY: the head sentinel is never null; the view's guard pins the epoch for
+        // the iterator's whole lifetime.
         let first = unsafe { head.deref() }.next.load_view(view.view, &view.guard).with_tag(0);
         let mut it = ListRangeIter { view, curr: first, hi };
         it.skip_to_live_geq(lo);
@@ -696,6 +743,8 @@ impl<'v, 'a> ListRangeIter<'v, 'a> {
     /// pointer unmarked) with key `>= lo`.
     fn skip_to_live_geq(&mut self, lo: Key) {
         let view = self.view;
+        // SAFETY: `curr` was read from a next cell (or version) under the view's guard,
+        // whose pin — and snapshot pin, when historical — outlives the iterator.
         while let Some(node) = unsafe { self.curr.as_ref() } {
             let next = node.next.load_view(view.view, &view.guard);
             if next.tag() != MARK && node.key >= lo {
@@ -711,6 +760,7 @@ impl Iterator for ListRangeIter<'_, '_> {
 
     fn next(&mut self) -> Option<(Key, Value)> {
         let view = self.view;
+        // SAFETY: as in `skip_to_live_geq` — the view's guard outlives the iterator.
         let node = unsafe { self.curr.as_ref() }?;
         if node.key > self.hi {
             self.curr = Shared::null();
@@ -790,6 +840,9 @@ impl Drop for HarrisList {
             // node ever pointed at, is freed — and counted — here.
             Mode::Versioned(camera) => {
                 camera.note_nodes_dropped(1);
+                // SAFETY: `&mut self` in Drop is exclusive; the sentinel was allocated
+                // by `Owned::new`/`Atomic::new` in the constructor, is never held by any
+                // version node, and is freed exactly here.
                 unsafe { drop(Box::from_raw(head.with_tag(0).as_raw())) };
             }
             // Plain: unlinked nodes were retired to EBR when unlinked; free what the
@@ -801,11 +854,17 @@ impl Drop for HarrisList {
                     if node.is_null() || !visited.insert(node.with_tag(0).as_raw() as usize) {
                         continue;
                     }
+                    // SAFETY: `&mut self` in Drop is exclusive, so every node the walk
+                    // reaches is still allocated (unlinked ones were retired to EBR, not
+                    // freed, and `visited` deduplicates).
                     let n = unsafe { node.with_tag(0).deref() };
                     for v in n.next.all_versions(&guard) {
                         stack.push(v.with_tag(0));
                     }
                 }
+                // SAFETY: each raw pointer was collected exactly once (`visited` is a
+                // set), every node was allocated via `Owned`/`Box`, and no concurrent
+                // accessor exists during Drop.
                 unsafe {
                     for raw in visited {
                         drop(Box::from_raw(raw as *mut Node));

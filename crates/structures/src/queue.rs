@@ -5,8 +5,9 @@
 //! state, so queries such as "the i-th element", "both end points", or a full scan can be
 //! answered atomically while enqueues and dequeues proceed concurrently.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+use vcas_core::sync::Ordering;
 
 use vcas_core::{Camera, SnapshotHandle, VersionedPtr};
 use vcas_ebr::{pin, Atomic, Guard, Owned, Shared};
@@ -309,8 +310,8 @@ mod tests {
         for q in both_modes() {
             let q = Arc::new(q);
             let produced: u64 = 4 * 2000;
-            let consumed = Arc::new(std::sync::atomic::AtomicU64::new(0));
-            let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let consumed = Arc::new(vcas_core::sync::AtomicU64::new(0));
+            let sum = Arc::new(vcas_core::sync::AtomicU64::new(0));
             let mut handles = Vec::new();
             for t in 0..4u64 {
                 let q = q.clone();
@@ -325,11 +326,15 @@ mod tests {
                 let consumed = consumed.clone();
                 let sum = sum.clone();
                 handles.push(std::thread::spawn(move || loop {
+                    // ORDERING: diag-counter — test tallies; exactness is only asserted
+                    // after the joins below, which synchronize.
                     if consumed.load(Ordering::Relaxed) >= produced {
                         break;
                     }
                     if let Some(v) = q.dequeue() {
+                        // ORDERING: diag-counter — as above.
                         consumed.fetch_add(1, Ordering::Relaxed);
+                        // ORDERING: diag-counter — as above.
                         sum.fetch_add(v, Ordering::Relaxed);
                     }
                 }));
@@ -337,7 +342,9 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
+            // ORDERING: diag-counter — read after every worker joined.
             assert_eq!(consumed.load(Ordering::Relaxed), produced);
+            // ORDERING: diag-counter — as above.
             assert_eq!(sum.load(Ordering::Relaxed), (0..produced).sum::<u64>());
             assert!(q.is_empty());
         }
@@ -348,7 +355,7 @@ mod tests {
         // One producer enqueues 0,1,2,... and one consumer dequeues in order; every atomic
         // scan must therefore be a contiguous run of integers.
         let q = Arc::new(MsQueue::new_versioned_default());
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(vcas_core::sync::AtomicBool::new(false));
         let producer = {
             let q = q.clone();
             std::thread::spawn(move || {
@@ -361,6 +368,8 @@ mod tests {
             let q = q.clone();
             let stop = stop.clone();
             std::thread::spawn(move || {
+                // ORDERING: stop-flag — the consumer only needs to see the flag
+                // eventually; the join below synchronizes everything else.
                 while !stop.load(Ordering::Relaxed) {
                     q.dequeue();
                 }
@@ -373,6 +382,7 @@ mod tests {
             }
         }
         producer.join().unwrap();
+        // ORDERING: stop-flag — as above.
         stop.store(true, Ordering::Relaxed);
         consumer.join().unwrap();
     }

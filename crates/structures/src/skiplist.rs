@@ -121,6 +121,7 @@ impl VcasSkipList {
 
     /// Number of successful updates (inserts + removes) applied so far.
     pub fn update_count(&self) -> u64 {
+        // ORDERING: diag-counter — monitoring only.
         self.updates.load(Ordering::Relaxed)
     }
 
@@ -128,6 +129,7 @@ impl VcasSkipList {
     /// amortized reclamation hook its tick.
     #[inline]
     fn after_update(&self, guard: &Guard) {
+        // ORDERING: diag-counter — monitoring only.
         self.updates.fetch_add(1, Ordering::Relaxed);
         self.camera.reclaim_tick(guard);
     }
@@ -135,10 +137,10 @@ impl VcasSkipList {
     /// Draws a tower height in `1..=MAX_HEIGHT`, geometric with p = 1/2 (splitmix64 over
     /// a shared counter — deterministic across runs, no thread-local RNG).
     fn random_height(&self) -> usize {
-        let mut z = self
-            .height_seed
-            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        const STEP: u64 = 0x9E37_79B9_7F4A_7C15;
+        // ORDERING: id-allocator — only atomicity of the draw matters; heights
+        // publish nothing.
+        let mut z = self.height_seed.fetch_add(STEP, Ordering::Relaxed).wrapping_add(STEP);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
@@ -297,7 +299,18 @@ impl VcasSkipList {
             if next.tag() == MARK {
                 return false; // another remover linearized first
             }
-            if n.tower[0].compare_exchange(next, next.with_tag(MARK), &guard) {
+            #[cfg(not(vcas_weaken_mark))]
+            let mark_won = n.tower[0].compare_exchange(next, next.with_tag(MARK), &guard);
+            // Deliberate mutation for the model-checker regression in
+            // crates/analysis/tests/model_structures.rs: treat a lost level-0 mark CAS as
+            // won, so a remove racing an insert's level-0 publish into the same cell can
+            // report success without ever marking (stock builds never set the cfg).
+            #[cfg(vcas_weaken_mark)]
+            let mark_won = {
+                let _ = n.tower[0].compare_exchange(next, next.with_tag(MARK), &guard);
+                true
+            };
+            if mark_won {
                 // Physically unlink (best effort; any traversal finishes the job).
                 self.find(key, &mut preds, &mut succs, &guard);
                 self.after_update(&guard);
@@ -374,6 +387,8 @@ impl Collectible for VcasSkipList {
     fn collect_bounded(&self, min_active: u64, budget: usize, guard: &Guard) -> CollectStats {
         let mut stats = CollectStats::default();
         let budget = budget.max(1);
+        // ORDERING: progress-heuristic — the cursor only decides where the next
+        // bounded pass resumes; truncation synchronizes inside the cells.
         let start = self.reclaim_cursor.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::SeqCst, guard);
         let head_ref = unsafe { head.deref() };
@@ -394,12 +409,14 @@ impl Collectible for VcasSkipList {
                     stats.cells_visited += 1;
                 }
                 if stats.cells_visited >= budget && n.key < u64::MAX {
+                    // ORDERING: progress-heuristic — as above.
                     self.reclaim_cursor.store(n.key + 1, Ordering::Relaxed);
                     return stats;
                 }
             }
             curr = next;
         }
+        // ORDERING: progress-heuristic — as above.
         self.reclaim_cursor.store(0, Ordering::Relaxed);
         stats.completed_cycle = true;
         stats

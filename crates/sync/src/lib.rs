@@ -1,8 +1,8 @@
 //! # vcas-sync — the atomics facade for the vCAS workspace
 //!
-//! Every atomic and mutex the protocol crates (`vcas-core`, `vcas-ebr`) use is imported
-//! from this crate instead of from `std::sync::atomic` / `parking_lot` directly. The
-//! facade has two personalities:
+//! Every atomic and mutex the protocol crates (`vcas-core`, `vcas-ebr`, and the
+//! lock-free structures in `vcas-structures`) use is imported from this crate instead of
+//! from `std::sync::atomic` / `parking_lot` directly. The facade has two personalities:
 //!
 //! * **Normal builds** (the default): pure re-exports. [`AtomicU64`], [`AtomicUsize`],
 //!   [`AtomicBool`], [`Ordering`] and [`fence`] *are* the `std` items, and [`Mutex`] /
@@ -12,17 +12,22 @@
 //!   wrappers that route every load, store, RMW, fence and lock acquisition through the
 //!   deterministic scheduler in the `model` module (only compiled under the cfg, hence
 //!   no doc link here). A test wraps its body in `model::explore` and the scheduler
-//!   enumerates thread interleavings by bounded depth-first search (or replays a random
-//!   seeded schedule, `model::stress`), reporting any panic together with the exact
-//!   schedule that produced it.
+//!   enumerates thread interleavings by bounded depth-first search — accelerated by a
+//!   sleep-set partial-order reduction over per-location conflicts — or replays a
+//!   random seeded schedule (`model::stress`), reporting any panic together with the
+//!   exact schedule that produced it. Weak-memory mode additionally models bounded-stale
+//!   non-SeqCst loads and real C11 fence publication.
 //!
 //! Threads that are not part of a model run (there is always exactly one run at a time)
 //! fall through to the real operations, so the rest of a test binary keeps working even
 //! when compiled with `--cfg vcas_model`.
 //!
-//! The `vcas-analysis` lint pass enforces that `vcas-core` and `vcas-ebr` never import
-//! `std::sync::atomic` or `parking_lot` directly — this crate is the single doorway, which
-//! is what makes the model checker's interception complete.
+//! The `vcas-analysis` lint pass enforces that `vcas-core`, `vcas-ebr`, and
+//! `vcas-structures` (minus the deliberately lock-based baselines) never import
+//! `std::sync::atomic` or `parking_lot` directly — this crate is the single doorway,
+//! which is what makes the model checker's interception complete, and what makes its
+//! partial-order reduction sound (an access the facade cannot see would be a conflict
+//! the reduction cannot detect).
 
 #![warn(missing_docs)]
 

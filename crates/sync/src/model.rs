@@ -22,14 +22,34 @@
 //!   non-SeqCst loads may additionally return one of the last `max_stale` values written,
 //!   subject to per-thread coherence and to release/acquire synchronization tracked as
 //!   per-location vector views. This is a *conservative approximation* of C11: RMWs always
-//!   read the latest value, SeqCst loads always read the latest value, and **fences are
-//!   scheduling points only** (fence-based publication is not modeled). It is strong enough
-//!   to catch a publication CAS demoted from `SeqCst`/`Release` to `Relaxed` (see the
-//!   `vcas-analysis` mutation test) without false-positives on SC-correct code.
+//!   read the latest value and SeqCst loads always read the latest value. **Fences carry
+//!   real publication semantics**: a `Release` (or stronger) fence snapshots the thread's
+//!   view and attaches it to the thread's subsequent relaxed stores, and an `Acquire` (or
+//!   stronger) fence upgrades every release view the thread's earlier relaxed loads
+//!   observed into acquired synchronization — so `store(Relaxed); fence(Release);
+//!   flag.store(Relaxed)` paired with `flag.load(Relaxed); fence(Acquire); load(Relaxed)`
+//!   publishes, exactly as C11 §32.9 prescribes. This is strong enough to catch a
+//!   publication CAS demoted from `SeqCst`/`Release` to `Relaxed` and a publication fence
+//!   demoted below `Release` (see the `vcas-analysis` mutation tests) without
+//!   false-positives on SC-correct or correctly fenced code.
 //! * **Preemption bounding** (CHESS-style): `Config::preemption_bound` caps how many times
 //!   a schedule may switch away from a thread that could have continued; forced switches
 //!   (blocked or finished threads) are free. Small bounds find most bugs at a fraction of
 //!   the schedule count.
+//! * **Partial-order reduction** (sleep sets, Godefroid-style): at every thread-choice
+//!   point the DFS remembers, per decision node, which already-explored alternatives
+//!   commute with the transitions taken since. A thread whose pending facade operation is
+//!   *independent* of everything executed since it was last explored stays in the node's
+//!   *sleep set*; picking it again would only permute independent operations and re-visit
+//!   an equivalence class the search already covered, so such candidates are skipped and
+//!   states whose every enabled transition sleeps are abandoned early (counted in
+//!   [`Report::sleep_blocked`]). Two operations conflict when they touch the same
+//!   location and at least one writes (mutex acquire/release counts as a write to the
+//!   mutex's address); under `weak_memory` fences conservatively conflict with
+//!   everything. Soundness leans on the facade-enforcement lint: *all* cross-thread
+//!   mutable state must route through `vcas-sync`, otherwise two facade-independent
+//!   transitions could still conflict through a plain memory race the model cannot see.
+//!   Disable with [`Config::por`] (or `VCAS_MODEL_POR=0`) to compare schedule counts.
 //!
 //! Model threads are real OS threads cooperating through a token: a thread only executes
 //! between scheduling points while it holds the token, so any data it touches outside the
@@ -77,6 +97,9 @@ pub struct Config {
     pub max_stale: usize,
     /// Wall-clock budget for the whole exploration; exceeded ⇒ stop early, not exhausted.
     pub time_budget: Option<Duration>,
+    /// Sleep-set partial-order reduction for [`explore`] (see module docs). On by
+    /// default; turning it off only makes the DFS revisit equivalent interleavings.
+    pub por: bool,
 }
 
 impl Default for Config {
@@ -88,6 +111,7 @@ impl Default for Config {
             weak_memory: false,
             max_stale: 3,
             time_budget: None,
+            por: true,
         }
     }
 }
@@ -95,7 +119,8 @@ impl Default for Config {
 impl Config {
     /// Builds a config from `VCAS_MODEL_*` environment variables (CI budget knobs):
     /// `VCAS_MODEL_MAX_SCHEDULES`, `VCAS_MODEL_MAX_STEPS`, `VCAS_MODEL_PREEMPTION_BOUND`
-    /// (empty/`none` = unbounded), `VCAS_MODEL_TIME_BUDGET_MS`. Unset variables keep the
+    /// (empty/`none` = unbounded), `VCAS_MODEL_TIME_BUDGET_MS`, `VCAS_MODEL_POR`
+    /// (`0`/`false`/`off` disables sleep-set reduction). Unset variables keep the
     /// defaults.
     pub fn from_env() -> Self {
         let mut c = Config::default();
@@ -112,6 +137,9 @@ impl Config {
         }
         if let Some(ms) = get("VCAS_MODEL_TIME_BUDGET_MS").and_then(|v| v.parse().ok()) {
             c.time_budget = Some(Duration::from_millis(ms));
+        }
+        if let Some(v) = get("VCAS_MODEL_POR") {
+            c.por = !matches!(v.to_ascii_lowercase().as_str(), "0" | "false" | "off");
         }
         c
     }
@@ -136,6 +164,11 @@ pub struct Report {
     pub schedules: usize,
     /// Schedules cut short by the [`Config::max_steps`] cap.
     pub pruned: usize,
+    /// Schedules abandoned by sleep-set partial-order reduction: every enabled transition
+    /// at some state commuted with the path since it was last explored, so the run's
+    /// continuations were already covered by an equivalent interleaving. Unlike
+    /// [`Report::pruned`] this loses no coverage.
+    pub sleep_blocked: usize,
     /// DFS only: the bounded schedule space was fully enumerated (no violation, no budget
     /// exhaustion).
     pub exhausted: bool,
@@ -162,8 +195,8 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} schedule(s), {} pruned, exhausted={}",
-            self.schedules, self.pruned, self.exhausted
+            "{} schedule(s), {} pruned, {} sleep-blocked, exhausted={}",
+            self.schedules, self.pruned, self.sleep_blocked, self.exhausted
         )?;
         if let Some(v) = &self.violation {
             write!(f, "\nviolation: {v}")?;
@@ -201,17 +234,64 @@ enum BlockReason {
     Join(usize),
 }
 
+/// The facade operation a thread is about to execute, observed at its scheduling point.
+/// Partial-order reduction derives per-location conflicts from these: two pending
+/// operations are *dependent* iff executing them in either order can differ.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PendingOp {
+    /// Not yet at a facade operation (freshly spawned, or a plain yield): the thread may
+    /// do anything next, so this conservatively conflicts with everything.
+    Unknown,
+    /// An atomic load of the location at this address.
+    Load(usize),
+    /// An atomic store/RMW/CAS — or a mutex acquire/release, keyed on the mutex address —
+    /// of the location at this address.
+    Store(usize),
+    /// A memory fence: a no-op under sequential consistency, a view operation (conflicts
+    /// with everything, conservatively) under `weak_memory`.
+    Fence,
+    /// Waiting for another thread to finish; conservatively conflicts with everything.
+    Join,
+}
+
+/// Whether two pending operations are dependent (may not commute). Keeping a thread
+/// asleep is only sound for independent operations, so every doubtful case returns true.
+fn conflicts(weak_memory: bool, a: PendingOp, b: PendingOp) -> bool {
+    use PendingOp::*;
+    match (a, b) {
+        (Unknown, _) | (_, Unknown) | (Join, _) | (_, Join) => true,
+        (Fence, _) | (_, Fence) => weak_memory,
+        (Load(_), Load(_)) => false,
+        (Load(x), Store(y)) | (Store(x), Load(y)) | (Store(x), Store(y)) => x == y,
+    }
+}
+
 struct ThreadState {
     status: Status,
     blocked: Option<BlockReason>,
+    /// The operation this thread executes when next granted (see [`PendingOp`]).
+    pending: PendingOp,
     /// Weak-memory view: per location, the minimum modification-order index this thread
     /// may still observe (coherence + acquired release views).
     view: HashMap<usize, usize>,
+    /// Weak memory: the view captured by this thread's last `Release` (or stronger)
+    /// fence; attached to its subsequent stores (C11 fence-based publication).
+    fence_view: Option<HashMap<usize, usize>>,
+    /// Weak memory: release views observed by this thread's relaxed loads, pending an
+    /// `Acquire` (or stronger) fence that upgrades them into `view`.
+    pending_acquire: HashMap<usize, usize>,
 }
 
 impl ThreadState {
     fn new() -> Self {
-        ThreadState { status: Status::Runnable, blocked: None, view: HashMap::new() }
+        ThreadState {
+            status: Status::Runnable,
+            blocked: None,
+            pending: PendingOp::Unknown,
+            view: HashMap::new(),
+            fence_view: None,
+            pending_acquire: HashMap::new(),
+        }
     }
 }
 
@@ -222,11 +302,24 @@ struct Entry {
     view: Option<HashMap<usize, usize>>,
 }
 
-#[derive(Clone, Copy, Debug)]
+/// Sleep-set bookkeeping attached to a thread-choice decision node explored under POR.
+#[derive(Clone, Debug)]
+struct PorNode {
+    /// The candidate tids at this node, in decision order (`chosen` indexes this).
+    candidates: Vec<usize>,
+    /// Sleep set at node entry, grown by backtracking: tids whose pending operation was
+    /// already explored here (or inherited asleep) and has not conflicted with anything
+    /// executed since. Candidates in this set are never picked at this node.
+    sleep: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
 struct Decision {
     chosen: u32,
     /// Number of alternatives at this point; 0 = unknown (replayed schedule).
     alternatives: u32,
+    /// Present on thread-choice nodes recorded by a POR-enabled DFS.
+    por: Option<PorNode>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -263,6 +356,14 @@ struct RunState {
     failure: Option<String>,
     abort: bool,
     pruned_run: bool,
+    sleep_blocked_run: bool,
+    /// POR: tids currently asleep (see [`PorNode::sleep`]); maintained during execution
+    /// and re-seeded from the recorded node when replaying a DFS prefix.
+    cur_sleep: Vec<usize>,
+    /// The executed schedule in [`replay`] format: the chosen index at *every* decision
+    /// point with more than one candidate/alternative, in execution order. Distinct from
+    /// `decisions`, which under POR skips nodes with a single explorable candidate.
+    trace: Vec<u32>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -283,6 +384,9 @@ impl RunState {
             failure: None,
             abort: false,
             pruned_run: false,
+            sleep_blocked_run: false,
+            cur_sleep: Vec::new(),
+            trace: Vec::new(),
             handles: Vec::new(),
         }
     }
@@ -357,32 +461,127 @@ fn install_panic_hook() {
 // Decisions and scheduling
 // ---------------------------------------------------------------------------------------
 
-/// Resolves one decision point with `alternatives` choices: replays the recorded prefix,
-/// then extends it (DFS: first alternative; stress: seeded PRNG). Points with a single
-/// alternative are not recorded.
+/// Resolves one *value* decision point with `alternatives` choices (weak-memory load
+/// staleness): replays the recorded prefix, then extends it (DFS: first alternative;
+/// stress: seeded PRNG). Points with a single alternative are not recorded.
 fn decide(st: &mut RunState, alternatives: usize) -> usize {
     debug_assert!(alternatives >= 1);
     if alternatives == 1 {
         return 0;
     }
     if st.cursor < st.decisions.len() {
-        let d = st.decisions[st.cursor];
+        let d = &st.decisions[st.cursor];
+        let (chosen, recorded) = (d.chosen as usize, d.alternatives);
         st.cursor += 1;
         debug_assert!(
-            d.alternatives == 0 || d.alternatives as usize == alternatives,
-            "nondeterministic decision point: recorded {} alternatives, now {}",
-            d.alternatives,
-            alternatives
+            recorded == 0 || recorded as usize == alternatives,
+            "nondeterministic decision point: recorded {recorded} alternatives, now \
+             {alternatives}",
         );
-        return (d.chosen as usize).min(alternatives - 1);
+        let pick = chosen.min(alternatives - 1);
+        st.trace.push(pick as u32);
+        return pick;
     }
     let chosen = match st.mode {
         Mode::Dfs | Mode::Replay => 0,
         Mode::Stress => (st.rng.next() % alternatives as u64) as usize,
     };
-    st.decisions.push(Decision { chosen: chosen as u32, alternatives: alternatives as u32 });
+    st.decisions.push(Decision {
+        chosen: chosen as u32,
+        alternatives: alternatives as u32,
+        por: None,
+    });
     st.cursor += 1;
+    st.trace.push(chosen as u32);
     chosen
+}
+
+/// POR: the thread granted at a decision point is about to execute its pending
+/// operation; every sleeping thread whose own pending operation conflicts with it must
+/// wake (its delayed transition no longer commutes with the path taken).
+fn wake_conflicting(st: &mut RunState, next: usize) {
+    if st.cur_sleep.is_empty() {
+        return;
+    }
+    let weak = st.config.weak_memory;
+    let op = st.threads[next].pending;
+    let threads = &st.threads;
+    let retained: Vec<usize> = st
+        .cur_sleep
+        .iter()
+        .copied()
+        .filter(|&u| u != next && !conflicts(weak, op, threads[u].pending))
+        .collect();
+    st.cur_sleep = retained;
+}
+
+/// Resolves one *thread* decision point over `candidates` (tids). Returns the index of
+/// the granted candidate, or `None` when the state is sleep-blocked: every enabled
+/// transition is asleep, i.e. commutes with everything executed since an equivalent
+/// interleaving already explored it, so continuing this run cannot reach new states.
+fn decide_thread(st: &mut RunState, candidates: &[usize]) -> Option<usize> {
+    debug_assert!(!candidates.is_empty());
+    if st.mode != Mode::Dfs || !st.config.por {
+        if candidates.len() == 1 {
+            return Some(0);
+        }
+        return Some(decide(st, candidates.len()));
+    }
+    // POR (DFS only): only candidates outside the sleep set are explorable. A node with a
+    // single explorable candidate never branches and is not *recorded* (matching the
+    // single-alternative rule of `decide`) — so it must not consume a recorded decision
+    // during prefix replay either, or the cursor would misalign. The explorable set is
+    // computed against the naturally evolved sleep set, which equals the node's
+    // creation-time state; a recorded node's (possibly backtracking-grown) sleep set is
+    // restored only after the node is matched.
+    let explorable: Vec<usize> =
+        (0..candidates.len()).filter(|&i| !st.cur_sleep.contains(&candidates[i])).collect();
+    match explorable.len() {
+        0 => None,
+        1 => {
+            let first = explorable[0];
+            if candidates.len() > 1 {
+                st.trace.push(first as u32);
+            }
+            wake_conflicting(st, candidates[first]);
+            Some(first)
+        }
+        _ => {
+            let pick = if st.cursor < st.decisions.len() {
+                // Replaying a recorded prefix: restore the node's sleep set before
+                // applying the recorded choice.
+                let d = &st.decisions[st.cursor];
+                let (chosen, recorded, sleep) =
+                    (d.chosen as usize, d.alternatives, d.por.as_ref().map(|p| p.sleep.clone()));
+                st.cursor += 1;
+                debug_assert!(
+                    recorded as usize == candidates.len(),
+                    "nondeterministic thread decision point: recorded {recorded} candidates, \
+                     now {}",
+                    candidates.len()
+                );
+                if let Some(sleep) = sleep {
+                    st.cur_sleep = sleep;
+                }
+                chosen.min(candidates.len() - 1)
+            } else {
+                let first = explorable[0];
+                st.decisions.push(Decision {
+                    chosen: first as u32,
+                    alternatives: candidates.len() as u32,
+                    por: Some(PorNode {
+                        candidates: candidates.to_vec(),
+                        sleep: st.cur_sleep.clone(),
+                    }),
+                });
+                st.cursor += 1;
+                first
+            };
+            st.trace.push(pick as u32);
+            wake_conflicting(st, candidates[pick]);
+            Some(pick)
+        }
+    }
 }
 
 fn unblock_all(st: &mut RunState) {
@@ -407,8 +606,10 @@ fn fail_run(rt: &'static Runtime, mut st: StdMutexGuard<'_, RunState>, msg: Stri
 /// The heart of the scheduler: called by the running thread (which holds the token) at
 /// every facade operation. Picks the next thread to run; if that is another thread, parks
 /// until the token comes back. `block` marks the caller as unable to progress until a
-/// model-visible event (mutex release / thread exit) clears it.
-fn schedule_point(block: Option<BlockReason>) {
+/// model-visible event (mutex release / thread exit) clears it. `op` is the operation the
+/// caller performs once granted; parked threads' pending ops are what POR's conflict
+/// detection reads.
+fn schedule_point(block: Option<BlockReason>, op: PendingOp) {
     let tid = cur_tid();
     let rt = runtime();
     let mut st = lock(rt);
@@ -425,6 +626,7 @@ fn schedule_point(block: Option<BlockReason>) {
         drop(st);
         raise_abort();
     }
+    st.threads[tid].pending = op;
     st.threads[tid].blocked = block;
 
     // An externally held facade mutex (a non-model thread briefly holding e.g. the shared
@@ -478,7 +680,18 @@ fn schedule_point(block: Option<BlockReason>) {
         unblock_all(&mut st);
     };
 
-    let pick = decide(&mut st, candidates.len());
+    let pick = match decide_thread(&mut st, &candidates) {
+        Some(pick) => pick,
+        None => {
+            // Sleep-blocked: abandon the run; its continuations were already covered.
+            st.sleep_blocked_run = true;
+            st.abort = true;
+            st.active = None;
+            rt.cv.notify_all();
+            drop(st);
+            raise_abort();
+        }
+    };
     let next = candidates[pick];
     let self_enabled = st.threads[tid].blocked.is_none();
     if next != tid {
@@ -536,8 +749,17 @@ fn on_thread_exit(tid: usize, panic_msg: Option<String>) {
         } else {
             // Forced switch (the exiting thread cannot continue): free, but still a
             // decision point when several successors are possible.
-            let pick = decide(&mut st, runnable.len());
-            st.active = Some(runnable[pick]);
+            match decide_thread(&mut st, &runnable) {
+                Some(pick) => st.active = Some(runnable[pick]),
+                None => {
+                    // Sleep-blocked at the exit point; the exiting thread cannot unwind
+                    // (it is already past its closure), so abort the run from here and
+                    // let the surviving threads tear themselves down.
+                    st.sleep_blocked_run = true;
+                    st.abort = true;
+                    st.active = None;
+                }
+            }
         }
     }
     rt.cv.notify_all();
@@ -566,7 +788,7 @@ impl<T> JoinHandle<T> {
                     break;
                 }
             }
-            schedule_point(Some(BlockReason::Join(self.tid)));
+            schedule_point(Some(BlockReason::Join(self.tid)), PendingOp::Join);
         }
         match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
             Some(v) => v,
@@ -703,15 +925,34 @@ fn model_load(st: &mut RunState, tid: usize, addr: usize, real: u64, ord: Orderi
     };
     let (value, release_view) = {
         let e = &st.mem[&addr][idx];
-        (e.value, if is_acquire(ord) { e.view.clone() } else { None })
+        (e.value, e.view.clone())
     };
-    let view = &mut st.threads[tid].view;
-    let slot = view.entry(addr).or_insert(0);
+    observe(st, tid, addr, idx, release_view, ord);
+    value
+}
+
+/// Applies a read's view effects: coherence (never re-observe older entries of `addr`),
+/// plus the writer's release view — merged into the reader's view on an acquire read, or
+/// stashed in `pending_acquire` on a relaxed read so that a later `Acquire` fence can
+/// upgrade the observation into synchronization (C11 fence semantics).
+fn observe(
+    st: &mut RunState,
+    tid: usize,
+    addr: usize,
+    idx: usize,
+    release_view: Option<HashMap<usize, usize>>,
+    ord: Ordering,
+) {
+    let t = &mut st.threads[tid];
+    let slot = t.view.entry(addr).or_insert(0);
     *slot = (*slot).max(idx);
     if let Some(rv) = release_view {
-        merge_view(view, &rv);
+        if is_acquire(ord) {
+            merge_view(&mut t.view, &rv);
+        } else {
+            merge_view(&mut t.pending_acquire, &rv);
+        }
     }
-    value
 }
 
 fn model_write(st: &mut RunState, tid: usize, addr: usize, val: u64, ord: Ordering) {
@@ -719,9 +960,15 @@ fn model_write(st: &mut RunState, tid: usize, addr: usize, val: u64, ord: Orderi
     loc.push(Entry { value: val, view: None });
     let idx = loc.len() - 1;
     st.threads[tid].view.insert(addr, idx);
-    if is_release(ord) {
-        let snapshot = st.threads[tid].view.clone();
-        st.mem.get_mut(&addr).expect("location must exist")[idx].view = Some(snapshot);
+    // The entry's release view is what an acquiring reader synchronizes with: the
+    // writer's view at the store for a release store, and/or the view frozen by the
+    // writer's last Release fence for a relaxed store after such a fence.
+    let mut entry_view = if is_release(ord) { Some(st.threads[tid].view.clone()) } else { None };
+    if let Some(fv) = &st.threads[tid].fence_view {
+        merge_view(entry_view.get_or_insert_with(HashMap::new), fv);
+    }
+    if entry_view.is_some() {
+        st.mem.get_mut(&addr).expect("location must exist")[idx].view = entry_view;
     }
 }
 
@@ -732,14 +979,9 @@ fn model_read_latest(st: &mut RunState, tid: usize, addr: usize, real: u64, ord:
     let idx = len - 1;
     let (value, release_view) = {
         let e = &st.mem[&addr][idx];
-        (e.value, if is_acquire(ord) { e.view.clone() } else { None })
+        (e.value, e.view.clone())
     };
-    let view = &mut st.threads[tid].view;
-    let slot = view.entry(addr).or_insert(0);
-    *slot = (*slot).max(idx);
-    if let Some(rv) = release_view {
-        merge_view(view, &rv);
-    }
+    observe(st, tid, addr, idx, release_view, ord);
     value
 }
 
@@ -748,21 +990,22 @@ fn model_read_latest(st: &mut RunState, tid: usize, addr: usize, real: u64, ord:
 // ---------------------------------------------------------------------------------------
 
 pub(crate) fn atomic_load(inner: &std::sync::atomic::AtomicU64, ord: Ordering) -> u64 {
-    schedule_point(None);
+    let addr = inner as *const _ as usize;
+    schedule_point(None, PendingOp::Load(addr));
     let real = inner.load(Ordering::SeqCst);
     let rt = runtime();
     let mut st = lock(rt);
     let tid = cur_tid();
-    model_load(&mut st, tid, inner as *const _ as usize, real, ord)
+    model_load(&mut st, tid, addr, real, ord)
 }
 
 pub(crate) fn atomic_store(inner: &std::sync::atomic::AtomicU64, val: u64, ord: Ordering) {
-    schedule_point(None);
+    let addr = inner as *const _ as usize;
+    schedule_point(None, PendingOp::Store(addr));
     let real = inner.load(Ordering::SeqCst);
     let rt = runtime();
     let mut st = lock(rt);
     let tid = cur_tid();
-    let addr = inner as *const _ as usize;
     location(&mut st, addr, real);
     model_write(&mut st, tid, addr, val, ord);
     inner.store(val, Ordering::SeqCst); // write-through: real state tracks mod order
@@ -773,12 +1016,12 @@ pub(crate) fn atomic_rmw(
     ord: Ordering,
     f: impl FnOnce(u64) -> u64,
 ) -> u64 {
-    schedule_point(None);
+    let addr = inner as *const _ as usize;
+    schedule_point(None, PendingOp::Store(addr));
     let real = inner.load(Ordering::SeqCst);
     let rt = runtime();
     let mut st = lock(rt);
     let tid = cur_tid();
-    let addr = inner as *const _ as usize;
     let old = model_read_latest(&mut st, tid, addr, real, ord);
     let new = f(old);
     model_write(&mut st, tid, addr, new, ord);
@@ -793,12 +1036,12 @@ pub(crate) fn atomic_cas(
     success: Ordering,
     failure: Ordering,
 ) -> Result<u64, u64> {
-    schedule_point(None);
+    let addr = inner as *const _ as usize;
+    schedule_point(None, PendingOp::Store(addr));
     let real = inner.load(Ordering::SeqCst);
     let rt = runtime();
     let mut st = lock(rt);
     let tid = cur_tid();
-    let addr = inner as *const _ as usize;
     let latest = { location(&mut st, addr, real).last().map(|e| e.value).unwrap() };
     if latest == current {
         let old = model_read_latest(&mut st, tid, addr, real, success);
@@ -810,15 +1053,34 @@ pub(crate) fn atomic_cas(
     }
 }
 
-/// Fences are scheduling points only: the weak-memory approximation does not model
-/// fence-based publication (see module docs).
-pub(crate) fn fence_op(_ord: Ordering) {
-    schedule_point(None);
+/// A fence: a scheduling point, plus — under `weak_memory` — C11 fence semantics. An
+/// `Acquire` (or stronger) fence upgrades every release view the thread's earlier relaxed
+/// loads observed into acquired synchronization; a `Release` (or stronger) fence freezes
+/// the thread's view so that its subsequent relaxed stores publish it (see
+/// [`model_write`]). `AcqRel`/`SeqCst` do both, acquire side first.
+pub(crate) fn fence_op(ord: Ordering) {
+    schedule_point(None, PendingOp::Fence);
+    let rt = runtime();
+    let mut st = lock(rt);
+    if !st.config.weak_memory {
+        return;
+    }
+    let tid = cur_tid();
+    if is_acquire(ord) {
+        let pending = std::mem::take(&mut st.threads[tid].pending_acquire);
+        merge_view(&mut st.threads[tid].view, &pending);
+    }
+    if is_release(ord) {
+        let snapshot = st.threads[tid].view.clone();
+        st.threads[tid].fence_view = Some(snapshot);
+    }
 }
 
-/// A plain scheduling point (used before mutex acquisition).
-pub(crate) fn yield_point() {
-    schedule_point(None);
+/// A mutex acquire/release scheduling point: POR treats it as a write to the mutex
+/// address, so two threads contending the same mutex never commute while operations on
+/// different mutexes (or plain atomics) do.
+pub(crate) fn mutex_point(addr: usize) {
+    schedule_point(None, PendingOp::Store(addr));
 }
 
 /// Records that the calling model thread now owns the facade mutex at `addr`.
@@ -831,7 +1093,7 @@ pub(crate) fn mutex_acquired(addr: usize) {
 
 /// Blocked yield while the facade mutex at `addr` is contended.
 pub(crate) fn mutex_blocked(addr: usize) {
-    schedule_point(Some(BlockReason::Mutex(addr)));
+    schedule_point(Some(BlockReason::Mutex(addr)), PendingOp::Store(addr));
 }
 
 /// Mutex release: a model-visible unblock event plus a scheduling point, so lock handoff
@@ -844,7 +1106,7 @@ pub(crate) fn mutex_released(addr: usize) {
         unblock_all(&mut st);
     }
     if !IN_ABORT.with(|a| a.get()) {
-        schedule_point(None);
+        schedule_point(None, PendingOp::Store(addr));
     }
 }
 
@@ -855,6 +1117,7 @@ pub(crate) fn mutex_released(addr: usize) {
 struct RunOutcome {
     failure: Option<String>,
     pruned: bool,
+    sleep_blocked: bool,
     schedule: Vec<u32>,
 }
 
@@ -872,6 +1135,9 @@ fn run_once(rt: &'static Runtime, f: Arc<dyn Fn() + Send + Sync>) -> RunOutcome 
         st.failure = None;
         st.abort = false;
         st.pruned_run = false;
+        st.sleep_blocked_run = false;
+        st.cur_sleep.clear();
+        st.trace.clear();
         st.active = Some(0);
     }
     let r2 = result.clone();
@@ -895,7 +1161,11 @@ fn run_once(rt: &'static Runtime, f: Arc<dyn Fn() + Send + Sync>) -> RunOutcome 
     RunOutcome {
         failure: st.failure.take(),
         pruned: st.pruned_run,
-        schedule: st.decisions.iter().map(|d| d.chosen).collect(),
+        sleep_blocked: st.sleep_blocked_run,
+        // The outcome schedule is the executed trace, not the DFS decision stack: under
+        // POR the stack omits single-explorable nodes, while `replay` consumes an index
+        // at every multi-candidate point.
+        schedule: std::mem::take(&mut st.trace),
     }
 }
 
@@ -919,40 +1189,78 @@ pub fn explore(config: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
     let start = Instant::now();
     let mut schedules = 0usize;
     let mut pruned = 0usize;
+    let mut sleep_blocked = 0usize;
     loop {
         let out = run_once(rt, f.clone());
         schedules += 1;
         if out.pruned {
             pruned += 1;
         }
+        if out.sleep_blocked {
+            sleep_blocked += 1;
+        }
         if let Some(message) = out.failure {
             return Report {
                 schedules,
                 pruned,
+                sleep_blocked,
                 exhausted: false,
                 violation: Some(Violation { message, schedule: out.schedule, seed: None }),
             };
         }
         // Backtrack: drop exhausted suffix decisions, bump the deepest one with an
-        // untried alternative, and re-run with that prefix.
+        // untried alternative, and re-run with that prefix. On a POR node the explored
+        // candidate moves into the node's sleep set (its transition commutes with every
+        // path explored beneath it until something conflicting wakes it), and the next
+        // choice is the first candidate still awake; a node whose every candidate sleeps
+        // is exhausted.
         let mut st = lock(rt);
-        while let Some(last) = st.decisions.last() {
-            if last.chosen + 1 < last.alternatives {
-                break;
+        let exhausted = loop {
+            let Some(last) = st.decisions.last_mut() else { break true };
+            let advanced = match &mut last.por {
+                Some(por) => {
+                    let explored = por.candidates[last.chosen as usize];
+                    if !por.sleep.contains(&explored) {
+                        por.sleep.push(explored);
+                    }
+                    match por.candidates.iter().position(|t| !por.sleep.contains(t)) {
+                        Some(next) => {
+                            last.chosen = next as u32;
+                            true
+                        }
+                        None => false,
+                    }
+                }
+                None => {
+                    if last.chosen + 1 < last.alternatives {
+                        last.chosen += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if advanced {
+                break false;
             }
             st.decisions.pop();
-        }
-        match st.decisions.last_mut() {
-            None => return Report { schedules, pruned, exhausted: true, violation: None },
-            Some(last) => last.chosen += 1,
+        };
+        if exhausted {
+            return Report { schedules, pruned, sleep_blocked, exhausted: true, violation: None };
         }
         drop(st);
         if schedules >= config.max_schedules {
-            return Report { schedules, pruned, exhausted: false, violation: None };
+            return Report { schedules, pruned, sleep_blocked, exhausted: false, violation: None };
         }
         if let Some(budget) = config.time_budget {
             if start.elapsed() > budget {
-                return Report { schedules, pruned, exhausted: false, violation: None };
+                return Report {
+                    schedules,
+                    pruned,
+                    sleep_blocked,
+                    exhausted: false,
+                    violation: None,
+                };
             }
         }
     }
@@ -983,6 +1291,7 @@ pub fn stress(
             return Report {
                 schedules: i + 1,
                 pruned,
+                sleep_blocked: 0,
                 exhausted: false,
                 violation: Some(Violation {
                     message,
@@ -993,11 +1302,17 @@ pub fn stress(
         }
         if let Some(budget) = config.time_budget {
             if start.elapsed() > budget {
-                return Report { schedules: i + 1, pruned, exhausted: false, violation: None };
+                return Report {
+                    schedules: i + 1,
+                    pruned,
+                    sleep_blocked: 0,
+                    exhausted: false,
+                    violation: None,
+                };
             }
         }
     }
-    Report { schedules: runs, pruned, exhausted: false, violation: None }
+    Report { schedules: runs, pruned, sleep_blocked: 0, exhausted: false, violation: None }
 }
 
 /// Re-executes one recorded schedule (from [`Violation::schedule`]).
@@ -1008,13 +1323,15 @@ pub fn replay(config: Config, schedule: &[u32], f: impl Fn() + Send + Sync + 'st
     setup(&config, Mode::Replay, 0);
     {
         let mut st = lock(rt);
-        st.decisions = schedule.iter().map(|&c| Decision { chosen: c, alternatives: 0 }).collect();
+        st.decisions =
+            schedule.iter().map(|&c| Decision { chosen: c, alternatives: 0, por: None }).collect();
     }
     let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
     let out = run_once(rt, f);
     Report {
         schedules: 1,
         pruned: out.pruned as usize,
+        sleep_blocked: 0,
         exhausted: false,
         violation: out.failure.map(|message| Violation {
             message,

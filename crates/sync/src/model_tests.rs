@@ -125,6 +125,53 @@ fn weak_memory_distinguishes_release_from_relaxed() {
     assert!(bad.found_violation(), "relaxed publication must be caught: {bad}");
 }
 
+/// Partial-order reduction regression: two writers on *disjoint* atomics commute at
+/// every step, so sleep sets must collapse the interleaving lattice. Both explorations
+/// exhaust the same state space (POR is sound), but the POR run does so in strictly
+/// fewer schedules than the recorded pre-POR baseline.
+#[test]
+fn por_explores_strictly_fewer_schedules() {
+    let body = || {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let (a1, b2) = (a.clone(), b.clone());
+        let t1 = model::spawn(move || {
+            a1.store(1, Ordering::SeqCst);
+            a1.store(2, Ordering::SeqCst);
+            a1.store(3, Ordering::SeqCst);
+        });
+        let t2 = model::spawn(move || {
+            b2.store(1, Ordering::SeqCst);
+            b2.store(2, Ordering::SeqCst);
+            b2.store(3, Ordering::SeqCst);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!((a.load(Ordering::SeqCst), b.load(Ordering::SeqCst)), (3, 3));
+    };
+
+    let before = model::explore(Config { por: false, ..small() }, body);
+    before.assert_no_violation("disjoint writers (por off)");
+    assert!(before.exhausted, "pre-POR space not exhausted: {before}");
+    // Recorded pre-POR exploration count for this scenario; update only when the
+    // scheduler's decision structure deliberately changes.
+    const PRE_POR_SCHEDULES: usize = 64;
+    assert_eq!(
+        before.schedules, PRE_POR_SCHEDULES,
+        "pre-POR baseline drifted ({before}); re-measure and update the constant"
+    );
+
+    let after = model::explore(Config { por: true, ..small() }, body);
+    after.assert_no_violation("disjoint writers (por on)");
+    assert!(after.exhausted, "POR space not exhausted: {after}");
+    assert!(
+        after.schedules < before.schedules,
+        "POR must explore strictly fewer schedules: {} vs {}",
+        after.schedules,
+        before.schedules
+    );
+}
+
 /// Seeded stress schedules are reproducible: the same seed finds the same failure.
 #[test]
 fn stress_is_seed_reproducible() {

@@ -291,8 +291,8 @@ impl AtomicBool {
 }
 
 /// Model-aware drop-in for `std::sync::atomic::fence`: a scheduling point on model
-/// threads, the real fence otherwise. The weak-memory approximation does not model
-/// fence-based publication (see [`crate::model`]).
+/// threads (with C11 fence publication semantics under the weak-memory model, see
+/// [`crate::model`]), the real fence otherwise.
 pub fn fence(order: Ordering) {
     if model::active_model_thread() {
         model::fence_op(order);
@@ -323,7 +323,7 @@ impl<T> Mutex<T> {
             return MutexGuard { inner: Some(self.inner.lock()), key: None };
         }
         let key = self as *const _ as usize;
-        model::yield_point(); // the acquisition itself is a scheduling point
+        model::mutex_point(key); // the acquisition itself is a scheduling point
         loop {
             if let Some(g) = self.inner.try_lock() {
                 model::mutex_acquired(key);
@@ -339,7 +339,7 @@ impl<T> Mutex<T> {
             return self.inner.try_lock().map(|g| MutexGuard { inner: Some(g), key: None });
         }
         let key = self as *const _ as usize;
-        model::yield_point();
+        model::mutex_point(key);
         self.inner.try_lock().map(|g| {
             model::mutex_acquired(key);
             MutexGuard { inner: Some(g), key: Some(key) }
