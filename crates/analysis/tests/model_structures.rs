@@ -24,10 +24,17 @@
 //! `--cfg vcas_weaken_mark` each structure treats a *lost* mark CAS as won (a deliberate
 //! protocol mutation, see the `vcas_weaken_mark` sites in crates/structures), and the
 //! checker must catch the resulting lost update with a replayable schedule.
+//!
+//! PR 10 adds two scenarios for the *elision* step of `VersionedCas::compare_and_swap`
+//! (the eager same-timestamp unlink): elision racing truncation on the shared
+//! `truncating` gate, and elision racing a pinned reader. Under
+//! `--cfg vcas_weaken_elide` (elision accepts *any* displaced head, not just
+//! same-timestamp ones) the pinned-reader scenario must catch the erased history.
 #![cfg(vcas_model)]
 
 use std::sync::Arc;
 
+use vcas_core::{Camera, VersionedCas};
 use vcas_structures::{HarrisList, Nbbst, VcasSkipList};
 
 use vcas_sync::model::{self, Config, Report};
@@ -55,6 +62,49 @@ fn check(name: &str, report: Report) {
             "{name}: mutation caught as expected: {} (replay schedule: {:?})",
             v.message, v.schedule
         );
+    } else {
+        report.assert_no_violation(name);
+        println!(
+            "{name}: {} schedule(s), {} pruned, {} sleep-blocked, exhausted={}",
+            report.schedules, report.pruned, report.sleep_blocked, report.exhausted
+        );
+        assert!(report.exhausted, "{name}: must enumerate to completion: {report:?}");
+    }
+}
+
+/// Postlude for the elision scenarios' *catcher*: stock builds exhaust cleanly, and the
+/// `vcas_weaken_elide` mutation (elide `>=` instead of `==`) must be observed.
+fn check_elide(name: &str, report: Report) {
+    if cfg!(vcas_weaken_elide) {
+        assert!(
+            report.found_violation(),
+            "{name}: the weakened elision guard must be caught by the model checker: {report:?}"
+        );
+        let v = report.violation.as_ref().unwrap();
+        println!(
+            "{name}: mutation caught as expected: {} (replay schedule: {:?})",
+            v.message, v.schedule
+        );
+    } else if cfg!(any(vcas_weaken_publish, vcas_weaken_fence, vcas_weaken_mark)) {
+        // Some *other* deliberate weakening is compiled in (the CI mutation leg sets them
+        // together); this scenario is not its designated catcher, so just report.
+        println!("{name}: ran under a foreign mutation cfg: {report:?}");
+    } else {
+        report.assert_no_violation(name);
+        println!(
+            "{name}: {} schedule(s), {} pruned, {} sleep-blocked, exhausted={}",
+            report.schedules, report.pruned, report.sleep_blocked, report.exhausted
+        );
+        assert!(report.exhausted, "{name}: must enumerate to completion: {report:?}");
+    }
+}
+
+/// Postlude for elision scenarios that are *neutral* to every mutation cfg (the elide
+/// weakening is invisible when all competing timestamps are already equal): stock builds
+/// exhaust cleanly; under any deliberate weakening the outcome is only reported.
+fn check_elide_neutral(name: &str, report: Report) {
+    if cfg!(any(vcas_weaken_publish, vcas_weaken_fence, vcas_weaken_mark, vcas_weaken_elide)) {
+        println!("{name}: ran under a mutation cfg (not this scenario's catcher): {report:?}");
     } else {
         report.assert_no_violation(name);
         println!(
@@ -136,4 +186,114 @@ fn skiplist_publish_vs_remove_mark_level0() {
         assert_eq!(sl.get(2), None, "remove(2) reported success but 2 is reachable");
     });
     check("skiplist_publish_vs_remove_mark_level0", report);
+}
+
+/// Elision vs. truncation: a same-timestamp vCAS (whose elision step wants the
+/// `truncating` gate) races `collect_before` (which holds it). In every interleaving the
+/// update wins, the suffix below the cut dies exactly once (by the truncation, by a
+/// skipped-elision-then-lazy-collect, or not yet), and slot conservation holds after the
+/// cell drops — double frees or leaks surface as violated conservation counters.
+///
+/// Every competing timestamp pair in this scenario is already equal, so the
+/// `vcas_weaken_elide` comparator change (`==` → `>=`) is invisible here; the
+/// pinned-reader scenario below is the mutation's designated catcher.
+#[test]
+fn vcas_elide_vs_truncation_gate() {
+    prewarm();
+    let report = model::explore(cfg(), || {
+        let cam = Camera::new();
+        let cell = Arc::new(VersionedCas::new(0u64, &cam));
+        // Single-threaded prologue: history [1@1, 0@0], so the truncator has a real cut
+        // to make while the racing update's elision contends for the same gate.
+        {
+            let g = vcas_ebr::pin();
+            cam.take_snapshot();
+            assert!(cell.compare_and_swap(0, 1, &g));
+        }
+        let floor = cam.min_active();
+        let truncator = {
+            let cell = cell.clone();
+            model::spawn(move || {
+                let g = vcas_ebr::pin();
+                cell.collect_before(floor, &g)
+            })
+        };
+        {
+            let g = vcas_ebr::pin();
+            // Same timestamp as the displaced head: the elision step fires (or skips
+            // under gate contention and leaves the node to lazy collection).
+            assert!(cell.compare_and_swap(1, 2, &g));
+        }
+        truncator.join();
+        let g = vcas_ebr::pin();
+        assert_eq!(cell.read(&g), 2, "the update must win in every interleaving");
+        assert!(
+            cell.version_count(&g) <= 3,
+            "list may hold at most [2@1, 1@1, 0@0] when both cleanups were skipped"
+        );
+        drop(g);
+        let cell = Arc::try_unwrap(cell).ok().expect("all clones joined");
+        drop(cell);
+        assert_eq!(
+            cam.versions_created(),
+            cam.versions_retired() + cam.versions_dropped(),
+            "slot conservation must hold whatever the elide/truncate interleaving"
+        );
+    });
+    check_elide_neutral("vcas_elide_vs_truncation_gate", report);
+}
+
+/// Elision vs. a pinned reader: a snapshot pinned *between* two update eras must keep
+/// reading its version while a racing writer's same-timestamp updates elide. Stock
+/// elision only ever unlinks a version shadowed at the *same* timestamp — never one a
+/// pin can address. Under `--cfg vcas_weaken_elide` the comparator accepts the pinned-era
+/// version too (stamps are monotone), erasing the history the pin needs: the racing
+/// pinned read then observes a moved value, which the checker must catch.
+#[test]
+fn vcas_elide_vs_pinned_reader() {
+    prewarm();
+    let report = model::explore(cfg(), || {
+        let cam = Camera::new();
+        let cell = Arc::new(VersionedCas::new(0u64, &cam));
+        // Single-threaded prologue: value 1 at the pre-pin timestamp, then a pin on it.
+        {
+            let g = vcas_ebr::pin();
+            assert!(cell.compare_and_swap(0, 1, &g));
+        }
+        let pinned = cam.pin_snapshot();
+        let writer = {
+            let cell = cell.clone();
+            model::spawn(move || {
+                let g = vcas_ebr::pin();
+                // First post-pin update links a new version (stock: the displaced head
+                // is the pinned era's, different timestamp); the second displaces a
+                // same-timestamp head and elides it.
+                assert!(cell.compare_and_swap(1, 2, &g));
+                assert!(cell.compare_and_swap(2, 3, &g));
+            })
+        };
+        {
+            // The racing pinned reader: its frozen value must never move.
+            let g = vcas_ebr::pin();
+            assert_eq!(
+                cell.read_snapshot(pinned.handle(), &g),
+                1,
+                "elision replaced a version the pinned handle could still read"
+            );
+        }
+        writer.join();
+        let g = vcas_ebr::pin();
+        assert_eq!(cell.read_snapshot(pinned.handle(), &g), 1, "pinned read moved after join");
+        assert_eq!(cell.read(&g), 3);
+        drop(g);
+        drop(pinned);
+        let cell = Arc::try_unwrap(cell).ok().expect("all clones joined");
+        drop(cell);
+        assert_eq!(
+            cam.versions_created(),
+            cam.versions_retired() + cam.versions_dropped(),
+            "slot conservation must hold under racing elision and a pin"
+        );
+    });
+    check_elide("vcas_elide_vs_pinned_reader", report);
 }

@@ -47,6 +47,13 @@ pub struct SmokeRow {
     /// `Camera::approx_live_versions()` at the end of the timed window *while the named
     /// anchors were still held* — the memory cost of retention (timetravel rows only).
     pub retained_versions: Option<u64>,
+    /// Version-node slots allocated over the run ([`Camera::versions_created`]); elided
+    /// updates reuse their displaced head's slot and do not count here (rows whose
+    /// structure shares a dedicated camera: the versioned mixed rows and reclaim rows).
+    pub versions_created: Option<u64>,
+    /// Successful CASes whose displaced head was elided at publication time
+    /// ([`Camera::versions_elided`]) — same rows as `versions_created`.
+    pub versions_elided: Option<u64>,
 }
 
 impl SmokeRow {
@@ -60,6 +67,18 @@ impl SmokeRow {
             live_nodes: None,
             cache_hit_rate: None,
             retained_versions: None,
+            versions_created: None,
+            versions_elided: None,
+        }
+    }
+
+    /// A throughput row that also archives the camera's version-allocation counters
+    /// (the versioned ordered-structure rows under the mixed workloads).
+    fn with_version_counters(id: String, mops: f64, camera: &Camera) -> SmokeRow {
+        SmokeRow {
+            versions_created: Some(camera.versions_created()),
+            versions_elided: Some(camera.versions_elided()),
+            ..SmokeRow::throughput(id, mops)
         }
     }
 }
@@ -108,18 +127,40 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
     let mut rows = Vec::new();
 
     // Ordered structures under the paper's update-heavy mix (plus a range-query mix for
-    // the snapshot path): one data point per structure.
-    let ordered: Vec<(&str, Arc<dyn AtomicRangeMap>)> = vec![
-        ("VcasBST", Arc::new(Nbbst::new_versioned(&Camera::new()))),
-        ("BST", Arc::new(Nbbst::new_plain())),
-        ("VcasList", Arc::new(HarrisList::new_versioned_default())),
-        ("VcasSkipList", Arc::new(VcasSkipList::new_versioned_default())),
-        ("DcBST", Arc::new(DcBst::new())),
-        ("LockBST", Arc::new(LockBst::new())),
+    // the snapshot path): one data point per structure. Versioned contenders keep their
+    // camera so the row can archive the version-allocation counters (and, in the
+    // single-threaded CI configuration, *enforce* that elision fires: the whole timed
+    // window runs at one timestamp, so same-timestamp displacement is the common case).
+    type OrderedContender<'a> = (&'a str, Arc<dyn AtomicRangeMap>, Option<&'a Arc<Camera>>);
+    let cam_bst = Camera::new();
+    let cam_list = Camera::new();
+    let cam_skip = Camera::new();
+    let ordered: Vec<OrderedContender<'_>> = vec![
+        ("VcasBST", Arc::new(Nbbst::new_versioned(&cam_bst)), Some(&cam_bst)),
+        ("BST", Arc::new(Nbbst::new_plain()), None),
+        ("VcasList", Arc::new(HarrisList::new_versioned(&cam_list)), Some(&cam_list)),
+        ("VcasSkipList", Arc::new(VcasSkipList::new_versioned(&cam_skip)), Some(&cam_skip)),
+        ("DcBST", Arc::new(DcBst::new()), None),
+        ("LockBST", Arc::new(LockBst::new()), None),
     ];
-    for (name, map) in ordered {
+    for (name, map, camera) in ordered {
         let t = run_mixed(map, &spec(cfg, Mix::update_heavy()));
-        rows.push(SmokeRow::throughput(format!("mixed-update-heavy/{name}"), t.mops()));
+        let id = format!("mixed-update-heavy/{name}");
+        match camera {
+            Some(camera) => {
+                if cfg.threads == 1 && camera.elision_enabled() {
+                    // Acceptance criterion, not a report: a single-threaded update-heavy
+                    // window with no snapshots must elide (gate contention, the only
+                    // legitimate skip path, needs a second thread).
+                    assert!(
+                        camera.versions_elided() > 0,
+                        "{id}: elision rate is zero over an update-heavy window"
+                    );
+                }
+                rows.push(SmokeRow::with_version_counters(id, t.mops(), camera));
+            }
+            None => rows.push(SmokeRow::throughput(id, t.mops())),
+        }
     }
     let rq: Arc<dyn AtomicRangeMap> = Arc::new(Nbbst::new_versioned(&Camera::new()));
     let t = run_mixed(rq, &spec(cfg, Mix::update_heavy_with_rq()));
@@ -333,6 +374,8 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
             live_nodes: Some(r.live_nodes_after_quiescence),
             cache_hit_rate: None,
             retained_versions: None,
+            versions_created: Some(r.versions_created),
+            versions_elided: Some(r.versions_elided),
         });
     }
 
@@ -363,6 +406,8 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
             live_nodes: None,
             cache_hit_rate,
             retained_versions: Some(r.retained_versions_while_anchored),
+            versions_created: None,
+            versions_elided: None,
         });
     }
 
@@ -372,9 +417,10 @@ pub fn run_smoke(cfg: &SmokeConfig) -> Vec<SmokeRow> {
 /// Serializes smoke results as JSON (hand-rolled: the workspace intentionally has no
 /// serde). Schema v3: `{"schema_version":3,"mode":"quick",...,"results":[{"id","mops"}
 /// ,..]}`, where reclaim rows additionally carry `"live_versions"` and `"live_nodes"`
-/// (end-of-run memory footprint), and timetravel rows carry `"retained_versions"` (and,
-/// for the cached row, `"cache_hit_rate"`); all extras are absent on throughput-only
-/// rows.
+/// (end-of-run memory footprint), timetravel rows carry `"retained_versions"` (and, for
+/// the cached row, `"cache_hit_rate"`), and rows whose structure had a dedicated camera
+/// (versioned mixed rows, reclaim rows) carry `"versions_created"`/`"versions_elided"`
+/// (the version-allocation trajectory); all extras are absent on throughput-only rows.
 pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -403,6 +449,12 @@ pub fn to_json(cfg: &SmokeConfig, rows: &[SmokeRow]) -> String {
         }
         if let Some(v) = row.retained_versions {
             memory.push_str(&format!(", \"retained_versions\": {v}"));
+        }
+        if let Some(v) = row.versions_created {
+            memory.push_str(&format!(", \"versions_created\": {v}"));
+        }
+        if let Some(v) = row.versions_elided {
+            memory.push_str(&format!(", \"versions_elided\": {v}"));
         }
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"mops\": {:.6}{memory}}}{comma}\n",
@@ -494,6 +546,25 @@ mod tests {
             } else {
                 assert!(row.live_versions.is_none() && row.live_nodes.is_none());
             }
+            // Version-allocation counters ride on rows whose structure had a dedicated
+            // camera: the versioned ordered-map mixed rows and the reclaim ablation.
+            let counted =
+                ["mixed-update-heavy/Vcas", "reclaim/"].iter().any(|p| row.id.starts_with(p));
+            assert_eq!(
+                row.versions_created.is_some(),
+                counted,
+                "{} versions_created presence is wrong",
+                row.id
+            );
+            assert_eq!(
+                row.versions_elided.is_some(),
+                counted,
+                "{} versions_elided presence is wrong",
+                row.id
+            );
+            if counted {
+                assert!(row.versions_created.unwrap() > 0, "{} created nothing", row.id);
+            }
             if row.id.starts_with("timetravel/") {
                 assert!(row.retained_versions.is_some(), "{} missing retained_versions", row.id);
             } else {
@@ -521,6 +592,8 @@ mod tests {
                 live_nodes: Some(131),
                 cache_hit_rate: None,
                 retained_versions: None,
+                versions_created: Some(4096),
+                versions_elided: Some(512),
             },
             SmokeRow {
                 id: "timetravel/cached-vs-uncached".to_string(),
@@ -529,6 +602,8 @@ mod tests {
                 live_nodes: None,
                 cache_hit_rate: Some(0.5),
                 retained_versions: Some(640),
+                versions_created: None,
+                versions_elided: None,
             },
         ];
         let json = to_json(&cfg, &rows);
@@ -536,10 +611,12 @@ mod tests {
         assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("{\"id\": \"a/b\", \"mops\": 1.250000}"));
         assert!(json.contains("c\\\"d\\\\e"));
-        // Reclaim rows carry the memory fields; throughput rows omit them.
+        // Reclaim rows carry the memory fields and the version-allocation counters;
+        // throughput rows omit them.
         assert!(json.contains(
             "{\"id\": \"reclaim/none\", \"mops\": 2.000000, \
-             \"live_versions\": 129, \"live_nodes\": 131}"
+             \"live_versions\": 129, \"live_nodes\": 131, \
+             \"versions_created\": 4096, \"versions_elided\": 512}"
         ));
         // Timetravel rows carry the retention fields.
         assert!(json.contains(

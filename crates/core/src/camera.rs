@@ -5,7 +5,7 @@ use std::sync::{Arc, Weak};
 
 use vcas_ebr::Guard;
 
-use crate::sync::{AtomicU64, Mutex, Ordering};
+use crate::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 
 use crate::reclaim::{CollectStats, Collectible, ReclaimState};
 use crate::retention::{Anchor, RetentionError, RetentionPolicy};
@@ -43,6 +43,11 @@ pub struct Camera {
     /// enforced. Timestamps below it are permanently unaddressable
     /// ([`Camera::pin_snapshot_at`] returns [`RetentionError::Truncated`]).
     oldest_retained: AtomicU64,
+    /// Whether same-timestamp version elision is enabled (see
+    /// [`crate::VersionedCas::compare_and_swap`]). Defaults to on; the `vcas_no_elide`
+    /// build flag flips the default, and [`Camera::set_elision_enabled`] toggles it at
+    /// runtime (used by the elision-equivalence proptest).
+    elide: AtomicBool,
 }
 
 impl Camera {
@@ -56,7 +61,26 @@ impl Camera {
             anchors: Mutex::new(Vec::new()),
             retention: Mutex::new(RetentionPolicy::default()),
             oldest_retained: AtomicU64::new(0),
+            elide: AtomicBool::new(!cfg!(vcas_no_elide)),
         })
+    }
+
+    /// Whether same-timestamp version elision is currently enabled on this camera.
+    pub fn elision_enabled(&self) -> bool {
+        // ORDERING: elision-knob — a policy toggle, not a publication: elision that runs
+        // under a stale read is still sound (the eligibility check is timestamp equality,
+        // re-validated structurally under the truncation gate), it is only more or less
+        // eager than requested for a moment.
+        self.elide.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables same-timestamp version elision at runtime. Disabling restores
+    /// the one-node-per-successful-CAS lifecycle (every displaced version stays linked
+    /// until the lazy collection reaps it) — used by the elision-equivalence proptest and
+    /// by tests that exercise the lazy path deliberately.
+    pub fn set_elision_enabled(&self, enabled: bool) {
+        // ORDERING: elision-knob — see `elision_enabled`.
+        self.elide.store(enabled, Ordering::Relaxed);
     }
 
     /// Takes a snapshot of every versioned CAS object associated with this camera and returns
@@ -346,10 +370,19 @@ impl Camera {
         self.reclaim.dropped()
     }
 
-    /// Total version nodes ever created on this camera (initial versions plus successful
-    /// CASes).
+    /// Total version nodes ever created on this camera: initial versions plus successful
+    /// CASes **that linked a new version**. An elided update (see
+    /// [`Camera::versions_elided`]) reuses the displaced head's slot and is deliberately
+    /// not counted here, so this counter measures real version production.
     pub fn versions_created(&self) -> u64 {
         self.reclaim.created()
+    }
+
+    /// Total successful CASes whose displaced head was elided (unlinked and recycled at
+    /// publication time because the camera timestamp had not advanced). Each elision is an
+    /// allocation-free update: `versions_created` does not move for it.
+    pub fn versions_elided(&self) -> u64 {
+        self.reclaim.elided()
     }
 
     /// Approximate number of live (retained) versions across every versioned CAS object on
@@ -424,6 +457,10 @@ impl Camera {
 
     pub(crate) fn note_versions_dropped(&self, n: u64) {
         self.reclaim.note_dropped(n);
+    }
+
+    pub(crate) fn note_versions_elided(&self, n: u64) {
+        self.reclaim.note_elided(n);
     }
 }
 

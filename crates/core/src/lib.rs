@@ -81,6 +81,7 @@ pub mod snapshot;
 pub mod versioned;
 pub mod versioned_ptr;
 pub mod vnode;
+pub(crate) mod vpool;
 
 pub use camera::Camera;
 pub use direct::{DirectVersionedPtr, VersionInfo, VersionedNode};
@@ -90,6 +91,7 @@ pub use retention::{Anchor, RetentionError, RetentionPolicy, Timestamp};
 pub use snapshot::{PinnedSnapshot, SnapshotHandle};
 pub use versioned::VersionedCas;
 pub use versioned_ptr::{release_node_ref, VersionReferenced, VersionedPtr};
+pub use vnode::VersionValue;
 
 /// The placeholder timestamp stored in a freshly created version node before `initTS` stamps
 /// it with a value read from the camera ("to-be-decided" in the paper).

@@ -60,6 +60,10 @@ impl CollectStats {
     }
 }
 
+/// Number of buckets in [`VersionStats::height_histogram`]. Comfortably above the skip
+/// list's maximum tower height (20); the last bucket saturates.
+pub const HEIGHT_BUCKETS: usize = 24;
+
 /// Aggregate version-list statistics of a structure (diagnostic; see
 /// [`Collectible::version_stats`]). Not constant time — walks every live cell.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -70,6 +74,12 @@ pub struct VersionStats {
     pub versions: usize,
     /// Largest version list among those cells.
     pub max_versions_per_cell: usize,
+    /// Tower-height histogram: `height_histogram[h]` counts nodes whose pointer tower is
+    /// `h` levels tall (heights `>= HEIGHT_BUCKETS` saturate into the last bucket). Only
+    /// layered structures report it (the skip list — a node of height `h` holds `h`
+    /// versioned cells, so tall towers are where truncation budget should go); flat
+    /// structures leave it zeroed.
+    pub height_histogram: [usize; HEIGHT_BUCKETS],
 }
 
 impl VersionStats {
@@ -80,11 +90,20 @@ impl VersionStats {
         self.max_versions_per_cell = self.max_versions_per_cell.max(versions);
     }
 
+    /// Records one node with a pointer tower `height` levels tall (skip-list only; see
+    /// [`VersionStats::height_histogram`]).
+    pub fn record_tower_height(&mut self, height: usize) {
+        self.height_histogram[height.min(HEIGHT_BUCKETS - 1)] += 1;
+    }
+
     /// Accumulates `other` into `self` (used by composite structures such as the hash map).
     pub fn merge(&mut self, other: VersionStats) {
         self.cells += other.cells;
         self.versions += other.versions;
         self.max_versions_per_cell = self.max_versions_per_cell.max(other.max_versions_per_cell);
+        for (into, from) in self.height_histogram.iter_mut().zip(other.height_histogram) {
+            *into += from;
+        }
     }
 }
 
@@ -246,6 +265,10 @@ pub(crate) struct ReclaimState {
     /// publication, or structure drop) — kept separate from `retired` so the truncation
     /// counter stays a pure signal of the reclamation drivers.
     dropped: AtomicU64,
+    /// Successful CASes whose displaced head was elided at publication time (see
+    /// [`Camera::versions_elided`]). Elisions are slot swaps: they move neither `created`
+    /// nor `retired`/`dropped`, so conservation stays exact without them.
+    elided: AtomicU64,
     /// Data-structure nodes ever allocated by structures on this camera.
     nodes_created: AtomicU64,
     /// Data-structure nodes retired because their version-held reference count hit zero
@@ -268,6 +291,7 @@ impl ReclaimState {
             created: AtomicU64::new(0),
             retired: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            elided: AtomicU64::new(0),
             nodes_created: AtomicU64::new(0),
             nodes_retired: AtomicU64::new(0),
             nodes_dropped: AtomicU64::new(0),
@@ -332,6 +356,16 @@ impl ReclaimState {
     pub(crate) fn dropped(&self) -> u64 {
         // ORDERING: diag-counter — as above.
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_elided(&self, n: u64) {
+        // ORDERING: diag-counter — as above.
+        self.elided.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn elided(&self) -> u64 {
+        // ORDERING: diag-counter — as above.
+        self.elided.load(Ordering::Relaxed)
     }
 
     pub(crate) fn set_amortized(&self, every_n: u64, budget: usize) {
@@ -778,6 +812,9 @@ mod tests {
     #[test]
     fn unreclaimable_debt_does_not_pin_slice_selection() {
         let camera = Camera::new();
+        // Elision off: this test exercises the *lazy* dead same-timestamp collection in
+        // `collect_slice`, which needs the intermediates to actually accumulate.
+        camera.set_elision_enabled(false);
         let stuck = Arc::new(Cells::new(&camera, 4));
         let busy = Arc::new(Cells::new(&camera, 4));
         camera.register_collectible(&stuck);

@@ -4,11 +4,12 @@ use std::sync::Arc;
 
 use crate::sync::{AtomicBool, Ordering};
 
-use vcas_ebr::{Atomic, Guard, Owned, Shared};
+use vcas_ebr::{Atomic, Guard, Shared};
 
 use crate::camera::Camera;
 use crate::snapshot::SnapshotHandle;
-use crate::vnode::VNode;
+use crate::vnode::{VNode, VersionValue};
+use crate::vpool;
 use crate::TBD;
 
 /// A CAS object whose entire history of values can be read through snapshot handles.
@@ -25,12 +26,20 @@ use crate::TBD;
 /// it (`initTS`) before proceeding, which is what makes "append node + read global timestamp
 /// + record it" appear atomic and gives the linearization points proven in the paper.
 ///
-/// `T` must be `Copy + Eq`: values are small words (integers, packed pointers). For versioned
-/// *pointers* to data-structure nodes use the typed wrapper [`crate::VersionedPtr`].
-pub struct VersionedCas<T: Copy> {
-    head: Atomic<VNode<T>>,
+/// **Version lifecycle** (see `docs/reclamation.md`): nodes are born from the per-thread
+/// pool (`vpool`), published by the vCAS, possibly *elided* right after publication when
+/// the camera has not advanced (the paper's recommended same-timestamp optimization — see
+/// [`VersionedCas::compare_and_swap`]), and die back into the pool via truncation, elision,
+/// a lost publication race, or the cell's destructor.
+///
+/// `T` must implement [`VersionValue`]: values are small words (integers, packed pointers)
+/// stored in non-generic, poolable nodes. For versioned *pointers* to data-structure nodes
+/// use the typed wrapper [`crate::VersionedPtr`].
+pub struct VersionedCas<T: VersionValue> {
+    head: Atomic<VNode>,
     camera: Arc<Camera>,
-    /// Serializes version-list truncation (never touched by reads/CASes).
+    /// Serializes version-list restructuring: truncation cuts, dead same-timestamp
+    /// unlinks, and the elision unlink (never touched by reads or by the publication CAS).
     truncating: AtomicBool,
     /// Optional value lifecycle hook: invoked once per version node holding a value
     /// (acquire at creation, release at destruction). This is how
@@ -44,10 +53,10 @@ pub struct VersionedCas<T: Copy> {
 ///
 /// The contract: `acquire(v)` is called exactly once for every version node created with
 /// value `v` (before the node is published), and `release(v, camera, guard)` exactly once
-/// when that version node is destroyed — by truncation, by a failed publication, or by the
-/// cell's destructor. Releases triggered by truncation run under the truncating thread's
-/// guard, so a release that frees memory must defer through the guard (epoch-based
-/// reclamation), never free immediately.
+/// when that version node is destroyed — by truncation, by elision of a displaced head, by
+/// a failed publication, or by the cell's destructor. Releases triggered by truncation or
+/// elision run under the calling thread's guard, so a release that frees memory must defer
+/// through the guard (epoch-based reclamation), never free immediately.
 #[derive(Clone, Copy)]
 pub(crate) struct ValueHook<T> {
     /// Called when a version node holding the value is created (pre-publication).
@@ -57,11 +66,11 @@ pub(crate) struct ValueHook<T> {
 }
 
 // SAFETY: the cell owns its version list; all shared access goes through atomics and
-// epoch guards, so it may move between threads whenever `T` itself is `Send + Sync`.
-unsafe impl<T: Copy + Send + Sync> Send for VersionedCas<T> {}
-// SAFETY: reads, CASes and truncation are all safe for concurrent callers (truncation is
-// self-serializing via `truncating`); `&VersionedCas<T>` is shareable when `T: Send + Sync`.
-unsafe impl<T: Copy + Send + Sync> Sync for VersionedCas<T> {}
+// epoch guards, so it may move between threads (`VersionValue` requires `Send + Sync`).
+unsafe impl<T: VersionValue> Send for VersionedCas<T> {}
+// SAFETY: reads, CASes, truncation and elision are all safe for concurrent callers (list
+// restructuring is self-serializing via `truncating`); `&VersionedCas<T>` is shareable.
+unsafe impl<T: VersionValue> Sync for VersionedCas<T> {}
 
 /// Success ordering of the publication CAS in [`VersionedCas::compare_and_swap`].
 ///
@@ -97,7 +106,30 @@ pub const PUBLISH_FENCE_ORDERING: Ordering = Ordering::Release;
 #[cfg(vcas_weaken_fence)]
 pub const PUBLISH_FENCE_ORDERING: Ordering = Ordering::Acquire;
 
-impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
+/// Eligibility check of the `elide_cas` path: a displaced head may be unlinked only when
+/// the new head carries the **same** timestamp — then (and only then) the displaced
+/// version is shadowed for every possible snapshot handle. Timestamp equality is a pure
+/// fact about two immutable stamps, so this check has no TOCTOU window; the structural
+/// race (is the displaced node still linked right below the new head?) is re-validated
+/// under the `truncating` gate inside [`VersionedCas::compare_and_swap`]'s elision step.
+#[cfg(not(vcas_weaken_elide))]
+#[inline]
+fn elide_match(new_ts: u64, displaced_ts: u64) -> bool {
+    new_ts == displaced_ts
+}
+/// Mutated (deliberately wrong) elision guard: `>=` instead of `==` accepts *every*
+/// displaced head (stamps are monotone), so elision erases genuinely distinct versions —
+/// exactly the history a pinned snapshot may still need. Exists solely for the mutation
+/// regression in `crates/analysis/tests/model_structures.rs`, which proves the model
+/// checker catches the frozen-read violation this introduces (stock builds never set the
+/// cfg).
+#[cfg(vcas_weaken_elide)]
+#[inline]
+fn elide_match(new_ts: u64, displaced_ts: u64) -> bool {
+    new_ts >= displaced_ts
+}
+
+impl<T: VersionValue> VersionedCas<T> {
     /// Creates a versioned CAS object holding `initial`, associated with `camera`.
     pub fn new(initial: T, camera: &Arc<Camera>) -> Self {
         Self::with_hook(initial, camera, None)
@@ -109,7 +141,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         if let Some(h) = hook {
             (h.acquire)(initial);
         }
-        let node = Owned::new(VNode::initial(initial));
+        let node = vpool::alloc(VNode::initial(initial.into_word()));
         // Stamp the initial version immediately (constructor runs before any concurrent
         // access, so a plain store of the current timestamp is the paper's initTS).
         node.as_ref().ts.store(camera.current_timestamp(), Ordering::SeqCst);
@@ -137,12 +169,17 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
 
     /// `initTS`: if `node`'s timestamp is still TBD, stamp it with the camera's current
     /// counter value. Any thread may perform this helping step; the CAS guarantees the
-    /// timestamp is written at most once.
+    /// timestamp is written at most once. Returns the node's final (stamped) timestamp.
     #[inline]
-    fn init_ts(&self, node: &VNode<T>) {
-        if node.ts.load(Ordering::SeqCst) == TBD {
-            let cur = self.camera.current_timestamp();
-            let _ = node.ts.compare_exchange(TBD, cur, Ordering::SeqCst, Ordering::SeqCst);
+    fn init_ts(&self, node: &VNode) -> u64 {
+        let ts = node.ts.load(Ordering::SeqCst);
+        if ts != TBD {
+            return ts;
+        }
+        let cur = self.camera.current_timestamp();
+        match node.ts.compare_exchange(TBD, cur, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => cur,
+            Err(actual) => actual,
         }
     }
 
@@ -152,17 +189,26 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         // SAFETY: the head pointer is never null and `guard` pins the epoch.
         let node = unsafe { head.deref() };
         self.init_ts(node);
-        node.val
+        T::from_word(node.word)
     }
 
     /// `vCAS(old, new)`: if the current value equals `old`, replace it with `new` and return
     /// `true`; otherwise return `false`. Constant time.
+    ///
+    /// When the successful publication is stamped with the **same** timestamp as the head
+    /// it displaced — i.e. the camera has not advanced since the previous update — the
+    /// displaced version is dead on arrival: `read_snapshot` walks newest-first and stops
+    /// at the first version with `ts <= handle`, so no handle can ever return a version
+    /// shadowed by a strictly newer one at the same timestamp. The `elide_cas` step then
+    /// unlinks the displaced node immediately and recycles it through the pool, so an
+    /// update burst between two camera advances keeps the list at one node instead of
+    /// growing per CAS (the paper's recommended elision, §4).
     pub fn compare_and_swap(&self, old: T, new: T, guard: &Guard) -> bool {
         let head = self.head.load(Ordering::SeqCst, guard);
         // SAFETY: the head pointer is never null and `guard` pins the epoch.
         let head_ref = unsafe { head.deref() };
-        self.init_ts(head_ref);
-        if head_ref.val != old {
+        let displaced_ts = self.init_ts(head_ref);
+        if head_ref.word != old.into_word() {
             return false;
         }
         if new == old {
@@ -173,7 +219,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         if let Some(h) = self.hook {
             (h.acquire)(new);
         }
-        let new_node = Owned::new(VNode::new(new, head)).into_shared(guard);
+        let new_node = vpool::alloc(VNode::new(new.into_word(), head)).into_shared(guard);
         match self.head.compare_exchange(
             head,
             new_node,
@@ -183,14 +229,17 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         ) {
             Ok(_) => {
                 // SAFETY: we just published `new_node`; it is non-null and epoch-protected.
-                self.init_ts(unsafe { new_node.deref() });
-                self.camera.note_versions_created(1);
+                let new_ref = unsafe { new_node.deref() };
+                let new_ts = self.init_ts(new_ref);
+                if !self.elide_cas(new_node, new_ts, head, displaced_ts, guard) {
+                    self.camera.note_versions_created(1);
+                }
                 true
             }
             Err(err) => {
                 // SAFETY: the CAS failed, so the node was never published and this thread
-                // still owns it exclusively; reclaim immediately (Algorithm 1 line 50).
-                unsafe { drop(err.new.into_owned()) };
+                // still owns it exclusively; recycle immediately (Algorithm 1 line 50).
+                unsafe { vpool::recycle(err.new.as_raw()) };
                 self.release_value(new, guard);
                 // Help the vCAS that beat us stamp its node before we report failure.
                 let current = self.head.load(Ordering::SeqCst, guard);
@@ -199,6 +248,88 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                 false
             }
         }
+    }
+
+    /// The elision step of [`VersionedCas::compare_and_swap`]: after `new_node` displaced
+    /// `displaced` at the head, unlink and recycle `displaced` when both carry the same
+    /// timestamp. Returns `true` when the displaced node was elided.
+    ///
+    /// **Why this is a separate post-publication step and not an in-place payload CAS:**
+    /// replacing the head's payload in place requires "camera still equals the head's
+    /// stamp" and "payload swapped" to be one atomic event. They are two words, so any
+    /// check-then-CAS has a stall window in which the camera advances and another cell
+    /// accepts an update at the *new* timestamp — the late in-place write would then be
+    /// visible at the old timestamp while real-time-earlier updates are not: an
+    /// inconsistent cut no recheck can repair (readers may already have returned it).
+    /// Publishing through the normal vCAS first makes the timestamp comparison a pure
+    /// fact about two immutable stamps; the unlink is then the PR 5 dead same-timestamp
+    /// collection performed eagerly, whose safety argument is structural, not temporal.
+    ///
+    /// **Structural revalidation under the gate.** Between our publication and acquiring
+    /// the `truncating` gate, a concurrent truncation may already have retired
+    /// `displaced`, or a later vCAS may have displaced *and elided* `new_node` itself
+    /// (leaving `displaced` linked below the newer head — unlinking it from our off-list
+    /// node would orphan nothing but releasing it would double-free). Both are excluded
+    /// by re-checking, under the gate, that `new_node` is still the head *and* that
+    /// `displaced` is still its direct successor; on any mismatch the elision is skipped
+    /// and the lazy collection in [`VersionedCas::collect_before`] reaps the node later.
+    /// ABA on these pointer comparisons is impossible while we hold `guard`: a recycled
+    /// address can only reappear after a grace period our own pin forbids.
+    ///
+    /// **Accounting** is slot-based so `created == retired + dropped` stays exact: an
+    /// elided publication transfers the displaced node's "created" identity to the new
+    /// head (the pair counts once as `versions_elided`, never again as created), and the
+    /// recycled node is counted neither retired nor dropped — every *linked* node still
+    /// dies exactly once.
+    fn elide_cas(
+        &self,
+        new_node: Shared<'_, VNode>,
+        new_ts: u64,
+        displaced: Shared<'_, VNode>,
+        displaced_ts: u64,
+        guard: &Guard,
+    ) -> bool {
+        if !elide_match(new_ts, displaced_ts) || !self.camera.elision_enabled() {
+            return false;
+        }
+        if self
+            .truncating
+            // ORDERING: elide-gate — failure means "a truncation or another elision is
+            // restructuring the list, skip the optimization"; no data is read under the
+            // failed CAS, so its load can be relaxed.
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        // Revalidate the structure under the gate (see the method docs): we may unlink
+        // only if the list still reads `head -> new_node -> displaced`.
+        let still_head = self.head.load(Ordering::SeqCst, guard);
+        // SAFETY: `new_node` was published by us and cannot be freed before `guard` drops.
+        let new_ref = unsafe { new_node.deref() };
+        let still_next = new_ref.nextv.load(Ordering::SeqCst, guard);
+        let elide =
+            still_head.as_raw() == new_node.as_raw() && still_next.as_raw() == displaced.as_raw();
+        if elide {
+            // SAFETY: `displaced` is epoch-protected while `guard` is live (even if a
+            // concurrent truncation had unlinked it, which the check above excludes).
+            let displaced_ref = unsafe { displaced.deref() };
+            let after = displaced_ref.nextv.load(Ordering::SeqCst, guard);
+            new_ref.nextv.store(after, Ordering::SeqCst);
+        }
+        self.truncating.store(false, Ordering::Release);
+        if elide {
+            // SAFETY: as above — unlinked under the gate, epoch-protected.
+            let displaced_ref = unsafe { displaced.deref() };
+            self.release_value(T::from_word(displaced_ref.word), guard);
+            let raw = displaced.as_raw();
+            // SAFETY: the node was unlinked while we held the gate, so it is retired
+            // exactly once; deferring through the guard returns it to the pool only
+            // after every in-flight reader's grace period.
+            unsafe { guard.defer_unchecked(move || vpool::recycle(raw)) };
+            self.camera.note_versions_elided(1);
+        }
+        elide
     }
 
     /// `readSnapshot(ts)`: returns the value this object had when the snapshot identified by
@@ -265,13 +396,13 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         loop {
             let node_ts = node.ts.load(Ordering::SeqCst);
             if node_ts <= ts {
-                return Ok(node.val);
+                return Ok(T::from_word(node.word));
             }
             let next = node.nextv.load(Ordering::SeqCst, guard);
             // SAFETY: version-list links are epoch-protected while `guard` is live.
             match unsafe { next.as_ref() } {
                 Some(older) => node = older,
-                None => return Err((node_ts, node.val)),
+                None => return Err((node_ts, T::from_word(node.word))),
             }
         }
     }
@@ -283,7 +414,7 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
         let mut cur = self.head.load(Ordering::SeqCst, guard);
         // SAFETY: version-list links are epoch-protected while `guard` is live.
         while let Some(node) = unsafe { cur.as_ref() } {
-            out.push((node.ts.load(Ordering::SeqCst), node.val));
+            out.push((node.ts.load(Ordering::SeqCst), T::from_word(node.word)));
             cur = node.nextv.load(Ordering::SeqCst, guard);
         }
         out
@@ -310,7 +441,10 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     ///    walks newest-first and stops at the first version with `ts <= handle`, so the
     ///    shadowed one can never be returned for any handle — collecting it bounds the
     ///    list's length by the number of *distinct* retained timestamps (+1 for the cut
-    ///    version), even under a long-lived pin.
+    ///    version), even under a long-lived pin. (The elision step of
+    ///    [`VersionedCas::compare_and_swap`] usually recycles these at publication time;
+    ///    this lazy walk is the fallback for elisions skipped under gate contention or
+    ///    with elision disabled.)
     ///
     /// `min_active` should come from [`Camera::min_active`]; versions that a pinned snapshot
     /// may still need are never reclaimed. Returns the number of versions retired.
@@ -347,10 +481,12 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                     // SAFETY: the detached suffix stays epoch-protected under `guard`.
                     while let Some(n) = unsafe { cur.as_ref() } {
                         let after = n.nextv.load(Ordering::SeqCst, guard);
-                        self.release_value(n.val, guard);
+                        self.release_value(T::from_word(n.word), guard);
+                        let raw = cur.as_raw();
                         // SAFETY: the suffix was detached above, so no new reader can reach
-                        // `cur`; each suffix node is retired exactly once.
-                        unsafe { guard.defer_destroy(cur) };
+                        // `cur`; each suffix node is retired exactly once, and the deferred
+                        // recycle returns it to the pool only after grace.
+                        unsafe { guard.defer_unchecked(move || vpool::recycle(raw)) };
                         retired += 1;
                         cur = after;
                     }
@@ -367,10 +503,12 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
                 // too), so unlink it in place and keep examining `node`'s new successor.
                 let after = older.nextv.load(Ordering::SeqCst, guard);
                 node.nextv.store(after, Ordering::SeqCst);
-                self.release_value(older.val, guard);
-                // SAFETY: `older` was just unlinked and truncation is serialized, so it is
-                // retired exactly once; in-flight readers are epoch-protected.
-                unsafe { guard.defer_destroy(next) };
+                self.release_value(T::from_word(older.word), guard);
+                let raw = next.as_raw();
+                // SAFETY: `older` was just unlinked and restructuring is serialized, so it
+                // is retired exactly once; in-flight readers are epoch-protected, and the
+                // deferred recycle returns it to the pool only after grace.
+                unsafe { guard.defer_unchecked(move || vpool::recycle(raw)) };
                 retired += 1;
                 continue;
             }
@@ -384,12 +522,12 @@ impl<T: Copy + PartialEq + 'static> VersionedCas<T> {
     }
 }
 
-impl<T: Copy> Drop for VersionedCas<T> {
+impl<T: VersionValue> Drop for VersionedCas<T> {
     fn drop(&mut self) {
-        // Exclusive access: walk the version list and free every node. The freed versions
-        // count toward the camera's retired total — without this, every cell destroyed
-        // through node unlinking (list/BST removes) would leave `approx_live_versions`
-        // drifting upward forever.
+        // Exclusive access: walk the version list and recycle every node. The freed
+        // versions count toward the camera's dropped total — without this, every cell
+        // destroyed through node unlinking (list/BST removes) would leave
+        // `approx_live_versions` drifting upward forever.
         //
         // A hooked cell releases each freed version's value: this is the link that makes
         // data-node reclamation cascade — destroying a node's cell drops the version-held
@@ -399,7 +537,7 @@ impl<T: Copy> Drop for VersionedCas<T> {
         let guard = if self.hook.is_some() { Some(vcas_ebr::pin()) } else { None };
         let mut freed = 0u64;
         // SAFETY: `&mut self` in `drop` means no concurrent access; the list is walked and
-        // freed exactly once.
+        // recycled exactly once.
         unsafe {
             // ORDERING: drop-exclusive — destructor holds `&mut self`; there is no
             // concurrent observer to order against.
@@ -409,9 +547,9 @@ impl<T: Copy> Drop for VersionedCas<T> {
                 // ORDERING: drop-exclusive — see the load above.
                 let next = node.nextv.load_unprotected(Ordering::Relaxed);
                 if let (Some(h), Some(g)) = (&self.hook, &guard) {
-                    (h.release)(node.val, &self.camera, g);
+                    (h.release)(T::from_word(node.word), &self.camera, g);
                 }
-                drop(cur.into_owned());
+                vpool::recycle(cur.as_raw());
                 freed += 1;
                 cur = next;
             }
@@ -422,7 +560,7 @@ impl<T: Copy> Drop for VersionedCas<T> {
     }
 }
 
-impl<T: Copy + PartialEq + std::fmt::Debug + 'static> std::fmt::Debug for VersionedCas<T> {
+impl<T: VersionValue + std::fmt::Debug> std::fmt::Debug for VersionedCas<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let guard = vcas_ebr::pin();
         f.debug_struct("VersionedCas")
@@ -456,7 +594,72 @@ mod tests {
         assert!(v.compare_and_swap(1, 2, &g));
         assert_eq!(v.read(&g), 2);
         assert!(v.compare_and_swap(2, 2, &g), "no-op CAS with equal values succeeds");
-        assert_eq!(v.version_count(&g), 2, "no-op CAS must not create a version");
+        // The camera never advanced, so the successful CAS elided the displaced version:
+        // the list stays at one node and the no-op CAS adds nothing either.
+        assert_eq!(v.version_count(&g), 1, "same-timestamp update must elide, not grow");
+        assert_eq!(cam.versions_elided(), 1);
+    }
+
+    /// The elision tentpole in one picture: an update burst with no snapshot in between
+    /// keeps the version list at a single node, every displaced version recycled at
+    /// publication time, while slot accounting stays exact.
+    #[test]
+    fn same_timestamp_burst_elides_to_one_version() {
+        let cam = Camera::new();
+        let v = VersionedCas::new(0u64, &cam);
+        let g = pin();
+        for i in 0..100u64 {
+            assert!(v.compare_and_swap(i, i + 1, &g));
+        }
+        assert_eq!(v.read(&g), 100);
+        assert_eq!(v.version_count(&g), 1, "burst must not grow the list");
+        assert_eq!(cam.versions_elided(), 100);
+        assert_eq!(cam.versions_created(), 1, "only the initial version's slot was created");
+        drop(g);
+        drop(v);
+        assert_eq!(
+            cam.versions_created(),
+            cam.versions_retired() + cam.versions_dropped(),
+            "slot conservation must hold after an elision burst"
+        );
+    }
+
+    /// Elision never crosses a camera advance: each snapshot boundary pins one version.
+    #[test]
+    fn elision_stops_at_snapshot_boundaries() {
+        let cam = Camera::new();
+        let v = VersionedCas::new(0u64, &cam);
+        let g = pin();
+        let mut handles = Vec::new();
+        for burst in 0..4u64 {
+            handles.push(cam.take_snapshot());
+            for i in 0..5 {
+                let cur = burst * 5 + i;
+                assert!(v.compare_and_swap(cur, cur + 1, &g));
+            }
+        }
+        // One retained version per burst timestamp, plus the initial version.
+        assert_eq!(v.version_count(&g), 5);
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(v.read_snapshot(*h, &g), 5 * i as u64, "handle {i} is frozen");
+        }
+        assert_eq!(cam.versions_elided(), 16, "4 of each burst's 5 updates elide");
+    }
+
+    #[test]
+    fn disabling_elision_restores_per_cas_versions() {
+        let cam = Camera::new();
+        cam.set_elision_enabled(false);
+        let v = VersionedCas::new(0u64, &cam);
+        let g = pin();
+        for i in 0..10u64 {
+            assert!(v.compare_and_swap(i, i + 1, &g));
+        }
+        assert_eq!(v.version_count(&g), 11, "with elision off every CAS links a node");
+        assert_eq!(cam.versions_elided(), 0);
+        cam.set_elision_enabled(true);
+        assert!(v.compare_and_swap(10, 11, &g));
+        assert_eq!(v.version_count(&g), 11, "re-enabled elision recycles the displaced head");
     }
 
     #[test]
@@ -512,6 +715,8 @@ mod tests {
             assert!(!v.compare_and_swap(99, 1, &g));
         }
         assert_eq!(v.version_count(&g), 1);
+        // Advance the camera so the success below cannot elide: the list must grow.
+        cam.take_snapshot();
         assert!(v.compare_and_swap(0, 1, &g));
         assert_eq!(v.version_count(&g), 2);
     }
@@ -547,13 +752,13 @@ mod tests {
         assert_eq!(v.read(&g), 30);
     }
 
-    /// Tentpole regression: same-timestamp intermediates above `min_active` are dead — no
-    /// snapshot handle can ever read them — so `collect_before` unlinks them even while a
-    /// long-lived pin holds `min_active` down, bounding the list by the number of distinct
-    /// retained timestamps (+1 for the version at the cut). Pinned reads stay frozen.
+    /// PR 10 keeps the *lazy* dead same-timestamp collection: it is the fallback for
+    /// elisions skipped under gate contention (and the only collector when elision is
+    /// disabled). Tested with elision off so the intermediates actually accumulate.
     #[test]
     fn collect_before_unlinks_dead_same_timestamp_intermediates() {
         let cam = Camera::new();
+        cam.set_elision_enabled(false);
         let v = VersionedCas::new(0u64, &cam);
         let g = pin();
         // Pin at the very start: min_active stays at the pin for the whole test, so plain
@@ -587,6 +792,33 @@ mod tests {
         assert!(v.collect_before(cam.min_active(), &g) > 0);
         assert_eq!(v.version_count(&g), 1);
         assert_eq!(v.read(&g), 20);
+    }
+
+    /// Eager elision and a pinned snapshot coexist: elision only ever recycles versions
+    /// shadowed at the same timestamp, which a pin by construction cannot address (a pin
+    /// at `t` forces the camera past `t`, so later publications stamp `> t`).
+    #[test]
+    fn elision_never_moves_a_pinned_read() {
+        let cam = Camera::new();
+        let v = VersionedCas::new(0u64, &cam);
+        let g = pin();
+        for i in 0..5u64 {
+            assert!(v.compare_and_swap(i, i + 1, &g));
+        }
+        let pinned = cam.pin_snapshot();
+        let frozen = v.read_snapshot(pinned.handle(), &g);
+        assert_eq!(frozen, 5);
+        for i in 5..50u64 {
+            assert!(v.compare_and_swap(i, i + 1, &g));
+        }
+        assert!(cam.versions_elided() >= 40, "the post-pin burst elides");
+        assert_eq!(v.read_snapshot(pinned.handle(), &g), frozen, "pinned read must not move");
+        assert_eq!(v.read(&g), 50);
+        assert_eq!(
+            v.version_count(&g),
+            2,
+            "pinned-era version plus the eliding head are all that remain"
+        );
     }
 
     /// Satellite regression: a raw (unpinned) handle whose versions were truncated away

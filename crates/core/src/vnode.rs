@@ -6,28 +6,70 @@ use crate::sync::{AtomicU64, Ordering};
 
 use crate::TBD;
 
+/// A value type storable in a version list.
+///
+/// Version nodes are **non-generic** so that every [`crate::VersionedCas<T>`] — whatever
+/// its `T` — shares one node layout and one per-thread recycling pool (`vcas-core`'s
+/// `vpool`). The cell's typed API converts at the boundary: values are packed into the
+/// node's 64-bit payload word on the way in and unpacked on the way out.
+///
+/// The conversion must be a bijection on the values actually used (`from_word(into_word(v))
+/// == v`, and word equality must coincide with value equality) — `VersionedCas` compares
+/// payload *words* to implement `vCAS`'s expected-value check.
+pub trait VersionValue: Copy + PartialEq + Send + Sync + 'static {
+    /// Packs the value into a version node's payload word.
+    fn into_word(self) -> u64;
+    /// Unpacks a payload word produced by [`VersionValue::into_word`].
+    fn from_word(word: u64) -> Self;
+}
+
+impl VersionValue for u64 {
+    #[inline]
+    fn into_word(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word
+    }
+}
+
+impl VersionValue for usize {
+    #[inline]
+    fn into_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(word: u64) -> Self {
+        word as usize
+    }
+}
+
 /// One entry of a version list (paper Algorithm 1, `VNode`).
 ///
-/// * `val` — the value installed by the successful vCAS that created the node; immutable.
+/// * `word` — the payload installed by the successful vCAS that created the node (a
+///   [`VersionValue`] packed to 64 bits); immutable for the node's linked lifetime.
 /// * `ts` — the timestamp of that vCAS. It starts as [`TBD`] and is stamped exactly once by
 ///   `initTS` (either by the installing thread or by a helper); once valid it never changes.
 /// * `nextv` — the next (older) version. It is written when the node is created and is only
-///   modified afterwards by version-list truncation, which cuts the list by storing null.
-pub struct VNode<T> {
-    pub(crate) val: T,
+///   modified afterwards by version-list restructuring (truncation cuts, dead
+///   same-timestamp unlinks, and the eager elision unlink), all serialized by the owning
+///   cell's `truncating` gate.
+pub struct VNode {
+    pub(crate) word: u64,
     pub(crate) ts: AtomicU64,
-    pub(crate) nextv: Atomic<VNode<T>>,
+    pub(crate) nextv: Atomic<VNode>,
 }
 
-impl<T> VNode<T> {
-    /// Creates a version node holding `val` whose next-older version is `next`.
-    pub(crate) fn new(val: T, next: Shared<'_, VNode<T>>) -> Self {
-        VNode { val, ts: AtomicU64::new(TBD), nextv: Atomic::from_shared(next) }
+impl VNode {
+    /// Creates a version node holding `word` whose next-older version is `next`.
+    pub(crate) fn new(word: u64, next: Shared<'_, VNode>) -> Self {
+        VNode { word, ts: AtomicU64::new(TBD), nextv: Atomic::from_shared(next) }
     }
 
     /// Creates the initial version node of an object (no older version).
-    pub(crate) fn initial(val: T) -> Self {
-        VNode { val, ts: AtomicU64::new(TBD), nextv: Atomic::null() }
+    pub(crate) fn initial(word: u64) -> Self {
+        VNode { word, ts: AtomicU64::new(TBD), nextv: Atomic::null() }
     }
 
     /// Returns the node's timestamp (possibly [`TBD`]).
@@ -40,17 +82,17 @@ impl<T> VNode<T> {
         self.timestamp() == TBD
     }
 
-    /// The value recorded in this version.
-    pub fn value(&self) -> &T {
-        &self.val
+    /// The payload word recorded in this version (unpack with [`VersionValue::from_word`]).
+    pub fn word(&self) -> u64 {
+        self.word
     }
 }
 
-impl<T: std::fmt::Debug> std::fmt::Debug for VNode<T> {
+impl std::fmt::Debug for VNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let ts = self.timestamp();
         f.debug_struct("VNode")
-            .field("val", &self.val)
+            .field("word", &self.word)
             .field("ts", &if ts == TBD { "TBD".to_string() } else { ts.to_string() })
             .finish()
     }
@@ -63,21 +105,28 @@ mod tests {
 
     #[test]
     fn new_node_has_tbd_timestamp() {
-        let n: VNode<u64> = VNode::initial(9);
+        let n = VNode::initial(9);
         assert!(n.is_tbd());
-        assert_eq!(*n.value(), 9);
+        assert_eq!(n.word(), 9);
     }
 
     #[test]
     fn chained_node_points_to_previous() {
         let g = pin();
-        let first = vcas_ebr::Owned::new(VNode::initial(1u64)).into_shared(&g);
-        let second = VNode::new(2u64, first);
+        let first = vcas_ebr::Owned::new(VNode::initial(1)).into_shared(&g);
+        let second = VNode::new(2, first);
         let next = second.nextv.load(Ordering::SeqCst, &g);
         assert_eq!(next, first);
         // SAFETY: `first` stays alive until the explicit drop below.
-        assert_eq!(unsafe { *next.deref().value() }, 1);
+        assert_eq!(unsafe { next.deref().word() }, 1);
         // SAFETY: the test owns the node and frees it once.
         unsafe { drop(first.into_owned()) };
+    }
+
+    #[test]
+    fn version_value_roundtrips() {
+        assert_eq!(u64::from_word(42u64.into_word()), 42);
+        assert_eq!(usize::from_word(7usize.into_word()), 7);
+        assert_eq!(u64::from_word(u64::MAX.into_word()), u64::MAX);
     }
 }

@@ -66,6 +66,15 @@ impl<T> Owned<T> {
         Owned { data: compose::<T>(raw as usize, 0), _marker: PhantomData }
     }
 
+    /// Consumes the `Owned`, returning its raw pointer without freeing the allocation
+    /// (the inverse of [`Owned::from_raw`]; any tag is discarded). The caller becomes
+    /// responsible for the allocation.
+    pub fn into_raw(self) -> *mut T {
+        let (raw, _) = decompose::<T>(self.data);
+        mem::forget(self);
+        raw as *mut T
+    }
+
     /// Returns the tag stored in the unused low bits.
     pub fn tag(&self) -> usize {
         decompose::<T>(self.data).1

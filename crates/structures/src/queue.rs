@@ -139,6 +139,8 @@ impl MsQueue {
         let mut attempts = 0u32;
         loop {
             let tail = self.tail.load(&guard);
+            // SAFETY: `tail` is never null (the dummy node exists from construction) and
+            // unlinked nodes are only reclaimed through `guard`-deferred destruction.
             let tail_ref = unsafe { tail.deref() };
             let next = tail_ref.next.load(&guard);
             if !next.is_null() {
@@ -164,6 +166,8 @@ impl MsQueue {
         loop {
             let head = self.head.load(&guard);
             let tail = self.tail.load(&guard);
+            // SAFETY: `head` is never null (it always points at the dummy) and is
+            // epoch-protected while `guard` is live.
             let head_ref = unsafe { head.deref() };
             let next = head_ref.next.load(&guard);
             if head == tail {
@@ -174,10 +178,14 @@ impl MsQueue {
                 self.tail.compare_exchange(tail, next, &guard);
                 continue;
             }
+            // SAFETY: `head != tail` with the queue's invariant (head trails tail) means
+            // `next` is non-null; it stays epoch-protected while `guard` is live.
             let next_ref = unsafe { next.deref() };
             let value = next_ref.value;
             if self.head.compare_exchange(head, next, &guard) {
                 if self.mode.reclaim_unlinked() {
+                    // SAFETY: the CAS unlinked the old dummy exactly once (plain mode
+                    // never re-links it); in-flight readers are epoch-protected.
                     unsafe { guard.defer_destroy(head) };
                 }
                 return Some(value);
@@ -200,7 +208,11 @@ impl MsQueue {
         // Elements are the nodes after the dummy pointed to by head, in order.
         let head = self.head.load_view(view, guard);
         let mut out = Vec::new();
+        // SAFETY: every retained head version is non-null (a dummy or former dummy), and
+        // versioned mode never frees unlinked nodes while their versions are retained.
         let mut curr = unsafe { head.deref() }.next.load_view(view, guard);
+        // SAFETY: snapshot links resolve to nodes kept alive by their version references
+        // (or, in plain mode, by `guard`'s epoch protection).
         while let Some(node) = unsafe { curr.as_ref() } {
             out.push(node.value);
             curr = node.next.load_view(view, guard);
@@ -220,8 +232,11 @@ impl MsQueue {
         let view = self.view_for_query();
         let guard = pin();
         let head = self.head.load_view(view, &guard);
+        // SAFETY: as in `collect_view` — retained head versions are non-null and their
+        // nodes outlive the versions pointing at them.
         let mut curr = unsafe { head.deref() }.next.load_view(view, &guard);
         let mut index = 0usize;
+        // SAFETY: as in `collect_view`'s walk.
         while let Some(node) = unsafe { curr.as_ref() } {
             if index == i {
                 return Some(node.value);
@@ -264,9 +279,14 @@ impl Drop for MsQueue {
             if node.is_null() || !visited.insert(node.as_raw() as usize) {
                 continue;
             }
+            // SAFETY: `&mut self` in `drop` means no concurrent access; every node
+            // reachable through some retained version is still allocated (the queue
+            // never frees a node while a version references it).
             let n = unsafe { node.deref() };
             stack.extend(n.next.all_versions(&guard));
         }
+        // SAFETY: `visited` deduplicates by address, so each reachable node is freed
+        // exactly once, and exclusive access means no reader can hold any of them.
         unsafe {
             for raw in visited {
                 drop(Box::from_raw(raw as *mut Node));

@@ -434,6 +434,10 @@ impl Collectible for VcasSkipList {
             for cell in &n.tower {
                 stats.record_cell(cell.version_count(guard));
             }
+            // Tower-height histogram (the head sentinel is excluded: its MAX_HEIGHT
+            // tower is structural, not a drawn height): a node of height `h` holds `h`
+            // versioned cells, so the histogram shows where retained history clusters.
+            stats.record_tower_height(n.tower.len());
             curr = n.tower[0].load(guard).with_tag(0);
         }
         stats
@@ -714,6 +718,28 @@ mod tests {
         assert_eq!(view.successors(0, 3), vec![]);
         assert_eq!(view.find_if(0, 100, &|_| true), None);
         assert_eq!(view.multi_get(&[1, 2, 3]), vec![None, None, None]);
+    }
+
+    /// Satellite regression (PR 10): `version_stats` reports a per-level tower-height
+    /// histogram. The height draw is splitmix64 over a fixed seed, so a sequential fill
+    /// is fully deterministic — pin the exact distribution to catch either a histogram
+    /// regression or an accidental change to the height generator.
+    #[test]
+    fn version_stats_height_histogram_is_deterministic_for_fixed_seed() {
+        let sl = VcasSkipList::new_versioned_default();
+        for k in 1..=512u64 {
+            assert!(sl.insert(k, k));
+        }
+        let guard = pin();
+        let stats = Collectible::version_stats(&sl, &guard);
+        let histogram = stats.height_histogram;
+        assert_eq!(histogram.iter().sum::<usize>(), 512, "histogram covers every node once");
+        assert_eq!(histogram[0], 0, "towers are at least one level tall");
+        // Geometric with p = 1/2 over 512 draws: ~half the towers are height 1, tapering
+        // to a single height-12 outlier.
+        let mut expected = [0usize; vcas_core::reclaim::HEIGHT_BUCKETS];
+        expected[..13].copy_from_slice(&[0, 241, 145, 65, 24, 18, 7, 7, 2, 0, 1, 1, 1]);
+        assert_eq!(histogram, expected, "fixed-seed tower-height distribution moved");
     }
 
     #[test]

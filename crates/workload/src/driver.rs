@@ -431,6 +431,13 @@ pub struct ReclaimResult {
     /// the node count of the surviving tree exactly (`2·len + 3` for the leaf-oriented
     /// BST) — i.e. *zero* unlinked nodes outlive their last version reference.
     pub live_nodes_after_quiescence: u64,
+    /// Version-node slots allocated over the run ([`Camera::versions_created`]); elided
+    /// updates reuse their displaced head's slot and do not count here.
+    pub versions_created: u64,
+    /// Successful CASes whose displaced head was elided at publication time
+    /// ([`Camera::versions_elided`]). With the reader pinned once at the window's start,
+    /// the whole churn window shares one timestamp, so this dominates the update count.
+    pub versions_elided: u64,
 }
 
 /// Runs the `reclaim` scenario: `spec.threads` update-heavy writers (50% inserts / 50%
@@ -451,6 +458,18 @@ pub fn run_reclaim(spec: &WorkloadSpec, scenario: &ReclaimScenario) -> ReclaimRe
     let collector = scenario.policy.install(&camera);
     prefill(tree.as_ref(), spec);
     let key_range = spec.key_range();
+    // Deepen the prefill history across one camera advance: reinstall the live keys at a
+    // *new* timestamp (insert is insert-if-absent, so remove first), leaving every touched
+    // cell a genuinely dead below-pin version. Elision collapses the same-timestamp bursts
+    // inside each pass, so without this the prefill would retain exactly one (pinned)
+    // version per cell and the mid-run collectors would have nothing to prove themselves
+    // on.
+    camera.take_snapshot();
+    for key in 1..=key_range {
+        if tree.remove(key) {
+            tree.insert(key, key + 1);
+        }
+    }
 
     // The long-pinned reader: freeze a set of answers at the pin's timestamp.
     let view = tree.view();
@@ -566,6 +585,8 @@ pub fn run_reclaim(spec: &WorkloadSpec, scenario: &ReclaimScenario) -> ReclaimRe
         nodes_retired,
         live_versions_after_quiescence,
         live_nodes_after_quiescence,
+        versions_created: camera.versions_created(),
+        versions_elided: camera.versions_elided(),
     };
 
     // Node-leak check, part 2: dropping the tree must conserve every counter exactly —

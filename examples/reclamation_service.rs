@@ -40,6 +40,19 @@ fn main() {
         counters.insert(id, 0);
         index.insert(id, id);
     }
+    // Deepen the prefill history across one camera advance. With version elision on, a
+    // single-timestamp prefill collapses to one version per cell at publication time,
+    // which would leave the collector *nothing* below the report's pin. Reinstalling
+    // every key at a new timestamp (insert is insert-if-absent, so remove first) strands
+    // a genuinely dead below-pin version per cell — the history a long-running service
+    // accretes between snapshots.
+    camera.take_snapshot();
+    for id in 1..=COUNTERS {
+        counters.remove(id);
+        counters.insert(id, 0);
+        index.remove(id);
+        index.insert(id, id);
+    }
 
     // Register both structures and start the background collector: 2ms sweeps, a bounded
     // slice of each structure per sweep.

@@ -26,6 +26,14 @@ fn hashmap_versions_bounded_after_pin_drops_under_writers() {
     for k in 1..=KEYS {
         assert!(map.insert(k, k * 3));
     }
+    // Reinstall every key across a camera advance: elision collapses the same-timestamp
+    // prefill to one version per cell, so without this there would be no dead below-pin
+    // history for the amortized hooks to retire mid-run.
+    camera.take_snapshot();
+    for k in 1..=KEYS {
+        assert!(map.remove(k));
+        assert!(map.insert(k, k * 3));
+    }
 
     // The long-pinned reader freezes the full table state.
     let view = map.view();
@@ -94,6 +102,13 @@ fn bst_background_collector_preserves_pinned_reads() {
         .install(&camera)
         .expect("background policy starts a collector");
     for k in 1..=KEYS {
+        assert!(tree.insert(k, k + 100));
+    }
+    // As in the hash-map test: strand dead below-pin history that survives elision, so
+    // the background collector has something to retire while the pin is held.
+    camera.take_snapshot();
+    for k in 1..=KEYS {
+        assert!(tree.remove(k));
         assert!(tree.insert(k, k + 100));
     }
 

@@ -173,6 +173,14 @@ fn pinned_snapshot_survives_version_collection() {
     for k in 0..500u64 {
         tree.insert(k, k);
     }
+    // Reinstall every key across a camera advance: elision collapses the same-timestamp
+    // prefill to one version per cell, and truncation under the pin below can only
+    // reclaim history that is *dead below the pin* — which this pass creates.
+    camera.take_snapshot();
+    for k in 0..500u64 {
+        assert!(tree.remove(k));
+        assert!(tree.insert(k, k));
+    }
     let pinned = camera.pin_snapshot();
     let before: Vec<u64> = tree.scan().iter().map(|(k, _)| *k).collect();
 
